@@ -1,0 +1,146 @@
+// Command nvmsim runs one (benchmark, mode, threads) simulation and prints
+// its metrics — the workhorse for ad-hoc exploration.
+//
+// Usage:
+//
+//	nvmsim -bench hash -mode fwb -threads 4
+//	nvmsim -suite whisper -bench tpcc -mode fwb
+//	nvmsim -bench rbtree -mode fwb -values str -elements 65536 -txns 1000
+//	nvmsim -bench hash -mode fwb -compare       # run all 9 designs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmemlog"
+	"pmemlog/internal/bench"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "hash", "benchmark: "+strings.Join(pmemlog.MicroBenchNames(), ",")+" (micro) or "+strings.Join(pmemlog.WhisperNames(), ",")+" (whisper)")
+		suite     = flag.String("suite", "micro", "micro | whisper")
+		modeName  = flag.String("mode", "fwb", "design: non-pers, sw-ulog, sw-rlog, undo-clwb, redo-clwb, hw-ulog, hw-rlog, hwl, fwb")
+		threads   = flag.Int("threads", 1, "hardware threads")
+		elements  = flag.Int("elements", 0, "structure size (0 = default)")
+		txns      = flag.Int("txns", 0, "transactions per thread (0 = default)")
+		values    = flag.String("values", "int", "int | str element payloads (micro only)")
+		logKB     = flag.Uint64("log-kb", 0, "circular log size in KB (0 = 4096)")
+		logBuf    = flag.Int("log-buffer", -1, "log buffer entries (-1 = 15)")
+		compare   = flag.Bool("compare", false, "run every design and print a comparison")
+		perThread = flag.Bool("per-thread-logs", false, "distributed per-thread logs (Section III-F)")
+		record    = flag.String("record", "", "record the workload's operation trace to this file")
+		replay    = flag.String("replay", "", "replay a recorded trace instead of running the workload live")
+		full      = flag.Bool("full", false, "report-quality sizes (slower)")
+		csv       = flag.Bool("csv", false, "CSV output")
+		jsonOut   = flag.Bool("json", false, "JSON output (full metric structs)")
+		mix       = flag.String("mix", "", "comma-separated microbenchmarks to run CONCURRENTLY, -threads each (e.g. -mix hash,tpcc is 2 benches x threads)")
+	)
+	flag.Parse()
+
+	p := pmemlog.QuickParams()
+	if *full {
+		p = pmemlog.FullParams()
+	}
+	if *elements > 0 {
+		p.Elements = *elements
+		p.WhisperRecords = *elements
+	}
+	if *txns > 0 {
+		p.TxnsPerThread = *txns
+		p.WhisperTxns = *txns
+	}
+	if *values == "str" {
+		p.Values = bench.StrValues
+	}
+	if *logKB > 0 {
+		p.LogBytes = *logKB << 10
+	}
+	p.LogBufferEntries = *logBuf
+	p.PerThreadLogs = *perThread
+
+	modes := []pmemlog.Mode{}
+	if *compare {
+		modes = pmemlog.AllModes()
+	} else {
+		m, err := pmemlog.ParseMode(*modeName)
+		if err != nil {
+			fatal(err)
+		}
+		modes = append(modes, m)
+	}
+
+	t := &pmemlog.Table{Header: []string{
+		"mode", "txns", "cycles", "tput(tx/s)", "ipc", "instr",
+		"lat-p50", "lat-p99", "nvram-wr-B", "log-B", "mem-energy-uJ",
+	}}
+	var runs []pmemlog.Run
+	var tr *pmemlog.Trace
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = pmemlog.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replaying %d recorded operations from %s\n", tr.Ops(), *replay)
+	}
+
+	for _, m := range modes {
+		var r pmemlog.Run
+		var err error
+		switch {
+		case *mix != "":
+			r, err = pmemlog.RunMixedMicro(strings.Split(*mix, ","), m, *threads, p)
+		case tr != nil:
+			r, err = pmemlog.ReplayMicro(tr, *benchName, m, *threads, p)
+		case *record != "" && *suite != "whisper":
+			var rec *pmemlog.Trace
+			rec, r, err = pmemlog.RecordMicro(*benchName, m, *threads, p)
+			if err == nil {
+				var f *os.File
+				if f, err = os.Create(*record); err == nil {
+					_, err = rec.WriteTo(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+			}
+		case *suite == "whisper":
+			r, err = pmemlog.RunWhisper(*benchName, m, *threads, p)
+		default:
+			r, err = pmemlog.RunMicro(*benchName, m, *threads, p)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		runs = append(runs, r)
+		t.Add(r.Mode, r.Transactions, r.Cycles, r.Throughput(), r.IPC(),
+			r.Instructions, r.TxnLatencyP50, r.TxnLatencyP99,
+			r.NVRAMWriteBytes, r.LogWriteBytes, r.MemEnergyPJ/1e6)
+	}
+	switch {
+	case *jsonOut:
+		out, err := json.MarshalIndent(runs, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	case *csv:
+		fmt.Print(t.CSV())
+	default:
+		fmt.Printf("%s / %s / %d thread(s)\n\n%s", *suite, *benchName, *threads, t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// kvstore: a persistent key-value store built on the public API — the kind
+// of storage-system workload the paper's introduction motivates. Keys map
+// to fixed-size string values through an open-chain hash table whose every
+// mutation is one persistent transaction, so any crash leaves the store in
+// a prefix-consistent state.
+//
+// The demo compares the same store on the paper's design (fwb) and on
+// software undo logging with clwb, then crash-tests the fwb variant.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"pmemlog"
+)
+
+const (
+	nBuckets  = 1024
+	valueSize = 64
+	keySpace  = 4096
+)
+
+// store is a persistent string-keyed KV store over simulated NVRAM.
+type store struct {
+	sys     *pmemlog.System
+	buckets pmemlog.Addr
+}
+
+// node layout (words): [key, next, value x 8]
+const nodeBytes = (2 + valueSize/8) * 8
+
+func newStore(sys *pmemlog.System) (*store, error) {
+	b, err := sys.Heap().AllocLine(nBuckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nBuckets; i++ {
+		sys.Poke(b+pmemlog.Addr(i*8), 0)
+	}
+	return &store{sys: sys, buckets: b}, nil
+}
+
+// bucket range-partitions keys so the two threads' disjoint key blocks
+// never share a chain (transactions stay isolated).
+func (s *store) bucket(key uint64) pmemlog.Addr {
+	idx := key * nBuckets / keySpace % nBuckets
+	return s.buckets + pmemlog.Addr(idx*8)
+}
+
+// Put inserts or updates key -> value atomically.
+func (s *store) Put(ctx pmemlog.Ctx, key uint64, value []byte) {
+	if len(value) != valueSize {
+		panic("kvstore: fixed 64-byte values")
+	}
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	if node := s.find(ctx, key); node != 0 {
+		ctx.StoreBytes(node+16, value)
+		return
+	}
+	node, err := s.sys.Heap().Alloc(nodeBytes)
+	if err != nil {
+		panic(err)
+	}
+	head := ctx.Load(s.bucket(key))
+	ctx.Store(node, pmemlog.Word(key))
+	ctx.Store(node+8, head)
+	ctx.StoreBytes(node+16, value)
+	ctx.Store(s.bucket(key), pmemlog.Word(node))
+}
+
+// Get returns the value for key, or nil.
+func (s *store) Get(ctx pmemlog.Ctx, key uint64) []byte {
+	node := s.find(ctx, key)
+	if node == 0 {
+		return nil
+	}
+	return ctx.LoadBytes(node+16, valueSize)
+}
+
+func (s *store) find(ctx pmemlog.Ctx, key uint64) pmemlog.Addr {
+	cur := pmemlog.Addr(ctx.Load(s.bucket(key)))
+	for cur != 0 {
+		if uint64(ctx.Load(cur)) == key {
+			return cur
+		}
+		cur = pmemlog.Addr(ctx.Load(cur + 8))
+	}
+	return 0
+}
+
+func value(key uint64, gen int) []byte {
+	v := make([]byte, valueSize)
+	copy(v, fmt.Sprintf("key=%d gen=%d", key, gen))
+	return v
+}
+
+func buildSystem(mode pmemlog.Mode) (*pmemlog.System, *store) {
+	cfg := pmemlog.DefaultConfig(mode, 2)
+	cfg.NVRAMBytes = 32 << 20
+	cfg.LogBytes = 512 << 10
+	cfg.GrowReserveBytes = 2 << 20
+	cfg.Caches.L2.SizeBytes = 256 << 10
+	cfg.TrackOracle = true
+	sys, err := pmemlog.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := newStore(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys, st
+}
+
+func workload(st *store) func(pmemlog.Ctx, int) {
+	return func(ctx pmemlog.Ctx, id int) {
+		base := uint64(id) * (keySpace / 2)
+		for i := 0; i < 400; i++ {
+			key := base + uint64(i*31%(keySpace/2))
+			st.Put(ctx, key, value(key, i))
+			if i%4 == 3 {
+				if got := st.Get(ctx, key); got == nil {
+					panic("get after put returned nil")
+				}
+			}
+		}
+	}
+}
+
+func main() {
+	// Performance comparison: the paper's design vs software undo+clwb.
+	fmt.Println("persistent KV store, 2 threads, 800 transactional puts:")
+	for _, mode := range []pmemlog.Mode{pmemlog.FWB, pmemlog.SWUndoClwb, pmemlog.NonPers} {
+		sys, st := buildSystem(mode)
+		if err := sys.RunN(workload(st)); err != nil {
+			log.Fatal(err)
+		}
+		r := sys.Stats()
+		fmt.Printf("  %-10s  %8.0f puts/s   %6d cycles/put   %5.1f KB NVRAM writes\n",
+			mode, r.Throughput(), r.Cycles/r.Transactions, float64(r.NVRAMWriteBytes)/1024)
+	}
+
+	// Crash test the fwb store.
+	sys, st := buildSystem(pmemlog.FWB)
+	sys.ScheduleCrash(300_000)
+	err := sys.RunN(workload(st))
+	if !errors.Is(err, pmemlog.ErrCrashed) {
+		log.Fatalf("expected crash, got %v", err)
+	}
+	rep, err := sys.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bad := sys.VerifyRecovery(rep, 300_000); len(bad) > 0 {
+		log.Fatalf("store inconsistent after crash: %v", bad[0])
+	}
+	fmt.Printf("\ncrash at cycle 300000: %d committed puts preserved, %d in-flight rolled back — store consistent.\n",
+		len(rep.Committed), len(rep.Uncommitted))
+}

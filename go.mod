@@ -1,0 +1,3 @@
+module pmemlog
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package bench implements the paper's microbenchmarks (Table III): hash,
+// rbtree, sps, btree, and ssca2. Each benchmark builds its data structure
+// in simulated NVRAM through the persistent heap and runs insert/delete/
+// swap transactions through the sim.Ctx interface, exactly as the paper's
+// native x86 versions run under McSimA+.
+//
+// Each benchmark exists in an integer variant (one-word values, less than
+// a cache line per element) and a string variant (multi-line values), as
+// in the paper's experiments. Threads partition the key space so that
+// transactions are isolated — the paper's workloads do the same through
+// per-thread working sets — which keeps multithreaded runs deterministic
+// and recovery semantics well-defined.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// ValueKind selects element payloads.
+type ValueKind int
+
+const (
+	// IntValues stores one-word values (elements smaller than a line).
+	IntValues ValueKind = iota
+	// StrValues stores 72-byte string values (elements spanning lines).
+	StrValues
+)
+
+func (v ValueKind) String() string {
+	if v == IntValues {
+		return "int"
+	}
+	return "str"
+}
+
+// ValueWords returns the payload size in words.
+func (v ValueKind) ValueWords() int {
+	if v == IntValues {
+		return 1
+	}
+	return 9 // 72 bytes: spans at least two cache lines together with keys
+}
+
+// Config parameterizes a microbenchmark run.
+type Config struct {
+	Elements      int // structure size (scaled-down "memory footprint")
+	TxnsPerThread int
+	Threads       int
+	Values        ValueKind
+	Seed          int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Elements <= 0 || c.TxnsPerThread <= 0 || c.Threads <= 0 {
+		return fmt.Errorf("bench: Elements, TxnsPerThread, Threads must be positive")
+	}
+	return nil
+}
+
+// Workload is one runnable microbenchmark.
+type Workload interface {
+	// Name returns the paper's benchmark name plus the value variant.
+	Name() string
+	// Setup allocates and populates the structure (untimed, like warming
+	// a traced process before the region of interest).
+	Setup(s *sim.System) error
+	// Run executes one thread's share of transactions.
+	Run(ctx sim.Ctx, thread int)
+}
+
+// Factory builds a workload from a config.
+type Factory func(Config) Workload
+
+// registry maps paper benchmark names to factories.
+var registry = map[string]Factory{
+	"hash":   func(c Config) Workload { return NewHash(c) },
+	"rbtree": func(c Config) Workload { return NewRBTree(c) },
+	"sps":    func(c Config) Workload { return NewSPS(c) },
+	"btree":  func(c Config) Workload { return NewBTree(c) },
+	"ssca2":  func(c Config) Workload { return NewSSCA2(c) },
+}
+
+// Names lists the microbenchmarks in the paper's order.
+func Names() []string { return []string{"hash", "rbtree", "sps", "btree", "ssca2"} }
+
+// New builds a named workload.
+func New(name string, cfg Config) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return f(cfg), nil
+}
+
+// threadRNG builds a per-thread deterministic generator.
+func threadRNG(seed int64, thread int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(thread)*7919 + 17))
+}
+
+// storeValue writes a payload of cfg-value size; key-dependent pattern so
+// verification can recompute expected contents.
+func storeValue(ctx sim.Ctx, addr mem.Addr, words int, key uint64) {
+	for i := 0; i < words; i++ {
+		ctx.Store(addr+mem.Addr(i*mem.WordSize), mem.Word(key*0x9e3779b97f4a7c15+uint64(i)))
+	}
+}
+
+// pokeValue writes the same payload during untimed setup.
+func pokeValue(s *sim.System, addr mem.Addr, words int, key uint64) {
+	for i := 0; i < words; i++ {
+		s.Poke(addr+mem.Addr(i*mem.WordSize), mem.Word(key*0x9e3779b97f4a7c15+uint64(i)))
+	}
+}

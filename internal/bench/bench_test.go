@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"testing"
+
+	"pmemlog/internal/sim"
+	"pmemlog/internal/txn"
+)
+
+func testSystem(t *testing.T, mode txn.Mode, threads int) *sim.System {
+	t.Helper()
+	cfg := sim.DefaultConfig(mode, threads)
+	cfg.Caches.L1.SizeBytes = 4 << 10
+	cfg.Caches.L1.Ways = 4
+	cfg.Caches.L2.SizeBytes = 64 << 10
+	cfg.Caches.L2.Ways = 8
+	cfg.NVRAMBytes = 16 << 20
+	cfg.LogBytes = 256 << 10
+	cfg.GrowReserveBytes = 1 << 20
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testCfg(threads int) Config {
+	return Config{Elements: 256, TxnsPerThread: 50, Threads: threads, Values: IntValues, Seed: 1}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		w, err := New(name, testCfg(1))
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if w.Name() == "" {
+			t.Errorf("%s has empty name", name)
+		}
+	}
+	if _, err := New("nope", testCfg(1)); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := New("hash", Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Each workload must run all its transactions cleanly on the full design.
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := testSystem(t, txn.FWB, 2)
+			w, err := New(name, testCfg(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Setup(s); err != nil {
+				t.Fatal(err)
+			}
+			s.SetBenchName(w.Name())
+			if err := s.RunN(w.Run); err != nil {
+				t.Fatal(err)
+			}
+			r := s.Stats()
+			if r.Transactions != 2*50 {
+				t.Errorf("transactions = %d, want 100", r.Transactions)
+			}
+		})
+	}
+}
+
+// Hash behaves like a set under insert-if-absent / remove-if-found.
+func TestHashAgainstShadow(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	cfg.TxnsPerThread = 300
+	h := NewHash(cfg)
+	if err := h.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	shadow := map[uint64]bool{}
+	for k := uint64(0); k < uint64(cfg.Elements); k += 2 {
+		shadow[k] = true
+	}
+	rng := threadRNG(cfg.Seed, 0)
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		for i := 0; i < cfg.TxnsPerThread; i++ {
+			key := uint64(rng.Int63()) % uint64(cfg.Elements)
+			inserted := h.InsertOrRemove(ctx, key)
+			if inserted == shadow[key] {
+				panic("hash/shadow disagree on membership")
+			}
+			shadow[key] = !shadow[key]
+		}
+		// Final sweep: membership must match exactly.
+		for k := uint64(0); k < uint64(cfg.Elements); k++ {
+			if h.Contains(ctx, k) != shadow[k] {
+				panic("final membership mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeAgainstShadow(t *testing.T) {
+	s := testSystem(t, txn.NonPers, 1)
+	cfg := testCfg(1)
+	cfg.TxnsPerThread = 400
+	r := NewRBTree(cfg)
+	if err := r.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	shadow := map[uint64]bool{}
+	for k := uint64(0); k < uint64(cfg.Elements); k += 2 {
+		shadow[k] = true
+	}
+	rng := threadRNG(cfg.Seed, 0)
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		for i := 0; i < cfg.TxnsPerThread; i++ {
+			key := uint64(rng.Int63()) % uint64(cfg.Elements)
+			inserted := r.InsertOrRemove(ctx, 0, key)
+			if inserted == shadow[key] {
+				panic("rbtree/shadow disagree")
+			}
+			shadow[key] = !shadow[key]
+			if i%50 == 0 {
+				if _, err := r.CheckInvariants(ctx, 0); err != nil {
+					panic(err.Error())
+				}
+			}
+		}
+		count, err := r.CheckInvariants(ctx, 0)
+		if err != nil {
+			panic(err.Error())
+		}
+		want := 0
+		for _, in := range shadow {
+			if in {
+				want++
+			}
+		}
+		if count != want {
+			panic("rbtree node count mismatch")
+		}
+		for k := uint64(0); k < uint64(cfg.Elements); k++ {
+			if r.Contains(ctx, 0, k) != shadow[k] {
+				panic("rbtree final membership mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeAgainstShadow(t *testing.T) {
+	s := testSystem(t, txn.NonPers, 1)
+	cfg := testCfg(1)
+	cfg.Elements = 512
+	cfg.TxnsPerThread = 600
+	b := NewBTree(cfg)
+	if err := b.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	shadow := map[uint64]bool{}
+	for k := uint64(0); k < uint64(cfg.Elements); k += 2 {
+		shadow[k] = true
+	}
+	rng := threadRNG(cfg.Seed, 0)
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		for i := 0; i < cfg.TxnsPerThread; i++ {
+			key := uint64(rng.Int63()) % uint64(cfg.Elements)
+			inserted := b.InsertOrRemove(ctx, 0, key)
+			if inserted == shadow[key] {
+				panic("btree/shadow disagree")
+			}
+			shadow[key] = !shadow[key]
+		}
+		count, err := b.CheckInvariants(ctx, 0)
+		if err != nil {
+			panic(err.Error())
+		}
+		want := 0
+		for _, in := range shadow {
+			if in {
+				want++
+			}
+		}
+		if count != want {
+			panic("btree key count mismatch")
+		}
+		for k := uint64(0); k < uint64(cfg.Elements); k++ {
+			if b.Contains(ctx, 0, k) != shadow[k] {
+				panic("btree final membership mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPSPreservesMultiset(t *testing.T) {
+	s := testSystem(t, txn.FWB, 2)
+	cfg := testCfg(2)
+	sp := NewSPS(cfg)
+	if err := sp.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunN(sp.Run); err != nil {
+		t.Fatal(err)
+	}
+	// Swaps permute entries: the multiset of first words is invariant.
+	seen := map[uint64]int{}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		if id != 0 {
+			return
+		}
+		for i := 0; i < cfg.Elements; i++ {
+			seen[uint64(sp.Entry(ctx, i))]++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Elements; i++ {
+		want := uint64(i) * 0x9e3779b97f4a7c15
+		if seen[want] != 1 {
+			t.Fatalf("entry pattern for index %d seen %d times", i, seen[want])
+		}
+	}
+}
+
+func TestSSCA2DegreesBounded(t *testing.T) {
+	s := testSystem(t, txn.FWB, 2)
+	cfg := testCfg(2)
+	g := NewSSCA2(cfg)
+	if err := g.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunN(g.Run); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		if id != 0 {
+			return
+		}
+		total := 0
+		for v := 0; v < cfg.Elements; v++ {
+			d := g.Degree(ctx, v)
+			if d < 0 || d > ssEdgeCap {
+				panic("degree out of bounds")
+			}
+			total += d
+		}
+		if total == 0 {
+			panic("graph has no edges")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// String variants run on every benchmark and move strictly more NVRAM
+// bytes per transaction than the int variants (multi-line elements).
+func TestStringVariants(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			perTx := func(values ValueKind) float64 {
+				cfg := testCfg(1)
+				cfg.Values = values
+				cfg.TxnsPerThread = 30
+				s := testSystem(t, txn.FWB, 1)
+				w, err := New(name, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Setup(s); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.RunN(w.Run); err != nil {
+					t.Fatalf("%s-%s: %v", name, values, err)
+				}
+				r := s.Stats()
+				return float64(r.NVRAMWriteBytes+r.ResidualDirtyBytes) / float64(r.Transactions)
+			}
+			intB := perTx(IntValues)
+			strB := perTx(StrValues)
+			// ssca2 ignores the value kind (graph payloads are fixed).
+			if name != "ssca2" && strB <= intB {
+				t.Errorf("str variant (%.0f B/tx) not heavier than int (%.0f B/tx)", strB, intB)
+			}
+		})
+	}
+}
+
+// Crash consistency holds under a real data-structure workload, not just
+// synthetic counters.
+func TestHashCrashRecovery(t *testing.T) {
+	probe := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	h := NewHash(cfg)
+	if err := h.Setup(probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.RunN(h.Run); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.WallCycles()
+
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		cfg2 := sim.DefaultConfig(txn.FWB, 1)
+		cfg2.Caches.L1.SizeBytes = 4 << 10
+		cfg2.Caches.L1.Ways = 4
+		cfg2.Caches.L2.SizeBytes = 64 << 10
+		cfg2.Caches.L2.Ways = 8
+		cfg2.NVRAMBytes = 16 << 20
+		cfg2.LogBytes = 256 << 10
+		cfg2.GrowReserveBytes = 1 << 20
+		cfg2.TrackOracle = true
+		s, err := sim.New(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := NewHash(cfg)
+		if err := h2.Setup(s); err != nil {
+			t.Fatal(err)
+		}
+		crashAt := uint64(float64(total) * frac)
+		s.ScheduleCrash(crashAt)
+		if err := s.RunN(h2.Run); err != sim.ErrCrashed {
+			t.Fatalf("crash at %.0f%%: err=%v", frac*100, err)
+		}
+		rep, err := s.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := s.VerifyRecovery(rep, crashAt); len(bad) != 0 {
+			t.Fatalf("crash at %.0f%%: %d violations, first: %s", frac*100, len(bad), bad[0])
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// BTree is the paper's B+tree microbenchmark [Table III / STX B+Tree]:
+// "searches for a value in a B+ tree; insert if absent, remove if found."
+// One tree per thread. Inner nodes hold keys and child pointers; leaves
+// hold keys and values and are chained. Inserts split full nodes on the
+// way down (proactive splitting); deletes remove from the leaf without
+// rebalancing (lazy deletion, a common simplification that preserves
+// search correctness — underfull leaves are merely tolerated).
+//
+// Node layout (words):
+//
+//	[0] meta: bit0 = leaf, bits 1.. = key count
+//	[1..order]   keys
+//	leaf:  [order+1 .. 2*order] value pointers, [2*order+1] next-leaf
+//	inner: [order+1 .. 2*order+1] children
+//
+// Values are separate heap blocks so string variants pay multi-line costs.
+const btOrder = 7 // max keys per node
+
+type BTree struct {
+	cfg   Config
+	sys   *sim.System
+	roots []mem.Addr // address of each tree's root pointer word
+}
+
+// NewBTree builds the workload.
+func NewBTree(cfg Config) *BTree { return &BTree{cfg: cfg} }
+
+// Name implements Workload.
+func (b *BTree) Name() string { return "btree-" + b.cfg.Values.String() }
+
+const btNodeWords = 2*btOrder + 2 // meta + keys + children/values+next
+
+func btNodeBytes() uint64 { return uint64(btNodeWords * mem.WordSize) }
+
+func (b *BTree) valueBytes() uint64 {
+	return uint64(b.cfg.Values.ValueWords() * mem.WordSize)
+}
+
+// Setup implements Workload.
+func (b *BTree) Setup(s *sim.System) error {
+	b.sys = s
+	b.roots = make([]mem.Addr, b.cfg.Threads)
+	setup := s.SetupCtx()
+	for t := 0; t < b.cfg.Threads; t++ {
+		hdr, err := s.Heap().AllocLine(mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("btree: %w", err)
+		}
+		leaf, err := s.Heap().Alloc(btNodeBytes())
+		if err != nil {
+			return fmt.Errorf("btree: %w", err)
+		}
+		b.roots[t] = hdr
+		s.Poke(leaf, packMeta(true, 0))
+		s.Poke(hdr, mem.Word(leaf))
+	}
+	per := uint64(b.cfg.Elements) / uint64(b.cfg.Threads)
+	for t := 0; t < b.cfg.Threads; t++ {
+		base := uint64(t) * per
+		for k := base; k < base+per; k += 2 {
+			b.op(setup, t).insert(k)
+		}
+	}
+	return nil
+}
+
+func packMeta(leaf bool, n int) mem.Word {
+	w := mem.Word(n) << 1
+	if leaf {
+		w |= 1
+	}
+	return w
+}
+
+func unpackMeta(w mem.Word) (leaf bool, n int) { return w&1 == 1, int(w >> 1) }
+
+// bt binds a thread's tree to a context.
+type bt struct {
+	b       *BTree
+	ctx     sim.Ctx
+	rootPtr mem.Addr
+}
+
+func (b *BTree) op(ctx sim.Ctx, thread int) *bt {
+	return &bt{b: b, ctx: ctx, rootPtr: b.roots[thread]}
+}
+
+func (t *bt) meta(n mem.Addr) (bool, int) { return unpackMeta(t.ctx.Load(n)) }
+func (t *bt) setMeta(n mem.Addr, leaf bool, cnt int) {
+	t.ctx.Store(n, packMeta(leaf, cnt))
+}
+func (t *bt) keyAt(n mem.Addr, i int) uint64 {
+	return uint64(t.ctx.Load(n + mem.Addr((1+i)*mem.WordSize)))
+}
+func (t *bt) setKeyAt(n mem.Addr, i int, k uint64) {
+	t.ctx.Store(n+mem.Addr((1+i)*mem.WordSize), mem.Word(k))
+}
+func (t *bt) ptrAt(n mem.Addr, i int) mem.Addr {
+	return mem.Addr(t.ctx.Load(n + mem.Addr((1+btOrder+i)*mem.WordSize)))
+}
+func (t *bt) setPtrAt(n mem.Addr, i int, p mem.Addr) {
+	t.ctx.Store(n+mem.Addr((1+btOrder+i)*mem.WordSize), mem.Word(p))
+}
+func (t *bt) root() mem.Addr     { return mem.Addr(t.ctx.Load(t.rootPtr)) }
+func (t *bt) setRoot(p mem.Addr) { t.ctx.Store(t.rootPtr, mem.Word(p)) }
+
+// findIdx returns the first index with key >= k (linear scan, charging
+// compare instructions like the STX implementation's small nodes).
+func (t *bt) findIdx(n mem.Addr, cnt int, k uint64) int {
+	for i := 0; i < cnt; i++ {
+		t.ctx.Compute(3)
+		if t.keyAt(n, i) >= k {
+			return i
+		}
+	}
+	return cnt
+}
+
+// search returns the leaf that would hold k and k's index (or -1).
+func (t *bt) search(k uint64) (leaf mem.Addr, idx int) {
+	n := t.root()
+	for {
+		isLeaf, cnt := t.meta(n)
+		i := t.findIdx(n, cnt, k)
+		if isLeaf {
+			if i < cnt && t.keyAt(n, i) == k {
+				return n, i
+			}
+			return n, -1
+		}
+		// Inner: child i covers keys < key[i]; equal keys descend right.
+		if i < cnt && t.keyAt(n, i) == k {
+			i++
+		}
+		n = t.ptrAt(n, i)
+	}
+}
+
+// splitChild splits parent's i-th child (which must be full).
+func (t *bt) splitChild(parent mem.Addr, i int) {
+	child := t.ptrAt(parent, i)
+	childLeaf, childCnt := t.meta(child)
+	right, err := t.b.sys.Heap().Alloc(btNodeBytes())
+	if err != nil {
+		panic(fmt.Sprintf("btree: %v", err))
+	}
+	mid := childCnt / 2
+	var sep uint64
+	if childLeaf {
+		// Leaf split: right gets keys[mid:]; separator = right's first key.
+		rn := childCnt - mid
+		for j := 0; j < rn; j++ {
+			t.setKeyAt(right, j, t.keyAt(child, mid+j))
+			t.setPtrAt(right, j, t.ptrAt(child, mid+j))
+		}
+		// Chain: right.next = child.next; child.next = right.
+		t.setPtrAt(right, btOrder, t.ptrAt(child, btOrder))
+		t.setPtrAt(child, btOrder, right)
+		t.setMeta(right, true, rn)
+		t.setMeta(child, true, mid)
+		sep = t.keyAt(right, 0)
+	} else {
+		// Inner split: key[mid] moves up.
+		rn := childCnt - mid - 1
+		for j := 0; j < rn; j++ {
+			t.setKeyAt(right, j, t.keyAt(child, mid+1+j))
+		}
+		for j := 0; j <= rn; j++ {
+			t.setPtrAt(right, j, t.ptrAt(child, mid+1+j))
+		}
+		t.setMeta(right, false, rn)
+		sep = t.keyAt(child, mid)
+		t.setMeta(child, false, mid)
+	}
+	// Shift parent entries right of i and install separator.
+	_, pCnt := t.meta(parent)
+	for j := pCnt; j > i; j-- {
+		t.setKeyAt(parent, j, t.keyAt(parent, j-1))
+	}
+	for j := pCnt + 1; j > i+1; j-- {
+		t.setPtrAt(parent, j, t.ptrAt(parent, j-1))
+	}
+	t.setKeyAt(parent, i, sep)
+	t.setPtrAt(parent, i+1, right)
+	t.setMeta(parent, false, pCnt+1)
+}
+
+// insert adds key k (must be absent).
+func (t *bt) insert(k uint64) {
+	// Grow the root if full.
+	root := t.root()
+	if _, cnt := t.meta(root); cnt == btOrder {
+		newRoot, err := t.b.sys.Heap().Alloc(btNodeBytes())
+		if err != nil {
+			panic(fmt.Sprintf("btree: %v", err))
+		}
+		t.setMeta(newRoot, false, 0)
+		t.setPtrAt(newRoot, 0, root)
+		t.setRoot(newRoot)
+		t.splitChild(newRoot, 0)
+		root = newRoot
+	}
+	// Descend, splitting full children proactively.
+	n := root
+	for {
+		isLeaf, cnt := t.meta(n)
+		if isLeaf {
+			i := t.findIdx(n, cnt, k)
+			for j := cnt; j > i; j-- {
+				t.setKeyAt(n, j, t.keyAt(n, j-1))
+				t.setPtrAt(n, j, t.ptrAt(n, j-1))
+			}
+			val, err := t.b.sys.Heap().Alloc(t.b.valueBytes())
+			if err != nil {
+				panic(fmt.Sprintf("btree: %v", err))
+			}
+			storeValue(t.ctx, val, t.b.cfg.Values.ValueWords(), k)
+			t.setKeyAt(n, i, k)
+			t.setPtrAt(n, i, val)
+			t.setMeta(n, true, cnt+1)
+			return
+		}
+		i := t.findIdx(n, cnt, k)
+		if i < cnt && t.keyAt(n, i) == k {
+			i++
+		}
+		child := t.ptrAt(n, i)
+		if _, ccnt := t.meta(child); ccnt == btOrder {
+			t.splitChild(n, i)
+			// Re-evaluate which side to descend.
+			if k >= t.keyAt(n, i) {
+				i++
+			}
+			child = t.ptrAt(n, i)
+		}
+		n = child
+	}
+}
+
+// remove deletes key k from its leaf (lazy: no rebalancing).
+func (t *bt) remove(k uint64) bool {
+	leaf, idx := t.search(k)
+	if idx < 0 {
+		return false
+	}
+	_, cnt := t.meta(leaf)
+	val := t.ptrAt(leaf, idx)
+	for j := idx; j < cnt-1; j++ {
+		t.setKeyAt(leaf, j, t.keyAt(leaf, j+1))
+		t.setPtrAt(leaf, j, t.ptrAt(leaf, j+1))
+	}
+	t.setMeta(leaf, true, cnt-1)
+	t.b.sys.Heap().Free(val, t.b.valueBytes())
+	return true
+}
+
+// InsertOrRemove is one benchmark transaction.
+func (b *BTree) InsertOrRemove(ctx sim.Ctx, thread int, key uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	t := b.op(ctx, thread)
+	if t.remove(key) {
+		return false
+	}
+	t.insert(key)
+	return true
+}
+
+// Contains reports membership (verification helper).
+func (b *BTree) Contains(ctx sim.Ctx, thread int, key uint64) bool {
+	_, idx := b.op(ctx, thread).search(key)
+	return idx >= 0
+}
+
+// CheckInvariants walks thread's tree validating key order and leaf
+// chaining; returns the number of stored keys.
+func (b *BTree) CheckInvariants(ctx sim.Ctx, thread int) (int, error) {
+	t := b.op(ctx, thread)
+	// Walk down the leftmost spine, then follow the leaf chain.
+	n := t.root()
+	depth := 0
+	for {
+		isLeaf, _ := t.meta(n)
+		if isLeaf {
+			break
+		}
+		n = t.ptrAt(n, 0)
+		depth++
+		if depth > 64 {
+			return 0, fmt.Errorf("btree: spine too deep (cycle?)")
+		}
+	}
+	count := 0
+	last := uint64(0)
+	first := true
+	for n != 0 {
+		isLeaf, cnt := t.meta(n)
+		if !isLeaf {
+			return 0, fmt.Errorf("btree: inner node on leaf chain")
+		}
+		for i := 0; i < cnt; i++ {
+			k := t.keyAt(n, i)
+			if !first && k <= last {
+				return 0, fmt.Errorf("btree: key order violation: %d after %d", k, last)
+			}
+			last, first = k, false
+			count++
+		}
+		n = t.ptrAt(n, btOrder)
+	}
+	return count, nil
+}
+
+// Run implements Workload.
+func (b *BTree) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(b.cfg.Seed, thread)
+	per := uint64(b.cfg.Elements) / uint64(b.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < b.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		b.InsertOrRemove(ctx, thread, key)
+		ctx.Compute(20)
+	}
+}

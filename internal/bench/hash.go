@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// Hash is the paper's hash microbenchmark [Table III / NV-heaps]:
+// "searches for a value in an open-chain hash table; insert if absent,
+// remove if found." Buckets hold singly linked chains of nodes.
+//
+// NVRAM layout:
+//
+//	buckets: nBuckets words, each the address of the first node (0 = empty)
+//	node:    [key, next, value[0..valueWords)]
+type Hash struct {
+	cfg      Config
+	sys      *sim.System
+	buckets  mem.Addr
+	nBuckets int
+}
+
+// NewHash builds the workload (allocation happens in Setup).
+func NewHash(cfg Config) *Hash {
+	n := cfg.Elements / 4
+	if n < 16 {
+		n = 16
+	}
+	return &Hash{cfg: cfg, nBuckets: n}
+}
+
+// Name implements Workload.
+func (h *Hash) Name() string { return "hash-" + h.cfg.Values.String() }
+
+const (
+	hnodeKey  = 0
+	hnodeNext = 1
+	hnodeVal  = 2
+)
+
+func (h *Hash) nodeBytes() uint64 {
+	return uint64((2 + h.cfg.Values.ValueWords()) * mem.WordSize)
+}
+
+// bucketOf range-partitions keys over buckets (rather than key%nBuckets)
+// so each thread's contiguous key block maps to a disjoint bucket range —
+// chains are never shared across threads.
+func (h *Hash) bucketOf(key uint64) mem.Addr {
+	idx := key * uint64(h.nBuckets) / uint64(h.cfg.Elements)
+	if idx >= uint64(h.nBuckets) {
+		idx = uint64(h.nBuckets) - 1
+	}
+	return h.buckets + mem.Addr(idx*mem.WordSize)
+}
+
+// Setup implements Workload: allocates buckets and pre-populates half the
+// key space so lookups hit a realistic mix.
+func (h *Hash) Setup(s *sim.System) error {
+	h.sys = s
+	b, err := s.Heap().AllocLine(uint64(h.nBuckets * mem.WordSize))
+	if err != nil {
+		return fmt.Errorf("hash: %w", err)
+	}
+	h.buckets = b
+	for i := 0; i < h.nBuckets; i++ {
+		s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+	}
+	// Populate every other key (untimed).
+	for key := uint64(0); key < uint64(h.cfg.Elements); key += 2 {
+		node, err := s.Heap().Alloc(h.nodeBytes())
+		if err != nil {
+			return fmt.Errorf("hash populate: %w", err)
+		}
+		bkt := h.bucketOf(key)
+		head := s.Peek(bkt)
+		s.Poke(node+hnodeKey*mem.WordSize, mem.Word(key))
+		s.Poke(node+hnodeNext*mem.WordSize, head)
+		pokeValue(s, node+hnodeVal*mem.WordSize, h.cfg.Values.ValueWords(), key)
+		s.Poke(bkt, mem.Word(node))
+	}
+	return nil
+}
+
+// Lookup walks the chain for key, returning the node address and its
+// predecessor's next-field address (the bucket slot for the head).
+func (h *Hash) Lookup(ctx sim.Ctx, key uint64) (node, prevLink mem.Addr) {
+	prevLink = h.bucketOf(key)
+	cur := mem.Addr(ctx.Load(prevLink))
+	for cur != 0 {
+		k := ctx.Load(cur + hnodeKey*mem.WordSize)
+		ctx.Compute(4) // compare + branch
+		if uint64(k) == key {
+			return cur, prevLink
+		}
+		prevLink = cur + hnodeNext*mem.WordSize
+		cur = mem.Addr(ctx.Load(prevLink))
+	}
+	return 0, prevLink
+}
+
+// InsertOrRemove is one benchmark transaction: search; insert if absent,
+// remove if found. Returns true if it inserted.
+func (h *Hash) InsertOrRemove(ctx sim.Ctx, key uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	node, prevLink := h.Lookup(ctx, key)
+	if node != 0 {
+		next := ctx.Load(node + hnodeNext*mem.WordSize)
+		ctx.Store(prevLink, next)
+		h.sys.Heap().Free(node, h.nodeBytes())
+		return false
+	}
+	n, err := h.sys.Heap().Alloc(h.nodeBytes())
+	if err != nil {
+		panic(fmt.Sprintf("hash: %v", err))
+	}
+	bkt := h.bucketOf(key)
+	head := ctx.Load(bkt)
+	ctx.Store(n+hnodeKey*mem.WordSize, mem.Word(key))
+	ctx.Store(n+hnodeNext*mem.WordSize, head)
+	storeValue(ctx, n+hnodeVal*mem.WordSize, h.cfg.Values.ValueWords(), key)
+	ctx.Store(bkt, mem.Word(n))
+	return true
+}
+
+// Contains reports membership (verification helper; uses timed loads).
+func (h *Hash) Contains(ctx sim.Ctx, key uint64) bool {
+	node, _ := h.Lookup(ctx, key)
+	return node != 0
+}
+
+// Run implements Workload. Threads own disjoint key ranges so chains are
+// never shared (bucketOf(key) differs per range because keys are striped
+// by thread).
+func (h *Hash) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(h.cfg.Seed, thread)
+	n := uint64(h.cfg.Elements)
+	t := uint64(h.cfg.Threads)
+	for i := 0; i < h.cfg.TxnsPerThread; i++ {
+		key := (uint64(rng.Int63()) % (n / t)) + uint64(thread)*(n/t)
+		h.InsertOrRemove(ctx, key)
+		ctx.Compute(20) // inter-transaction application work
+	}
+}

@@ -1,0 +1,454 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// RBTree is the paper's red-black tree microbenchmark [Table III / Kiln]:
+// "searches for a value in a red-black tree; insert if absent, remove if
+// found." The tree is a textbook (CLRS) red-black tree with parent
+// pointers, laid out in NVRAM, with one tree per thread (threads own
+// disjoint key ranges).
+//
+// NVRAM layout:
+//
+//	per-tree header (line aligned): [rootPtr]
+//	node: [key, left, right, parent, color, value[0..valueWords)]
+//
+// Each tree uses a real sentinel node as NIL (CLRS T.nil), allocated at
+// setup; the sentinel is black and its fields are scratch space during
+// delete fixup.
+type RBTree struct {
+	cfg   Config
+	sys   *sim.System
+	roots []mem.Addr // address of each tree's root pointer word
+	nils  []mem.Addr // each tree's sentinel node
+}
+
+// NewRBTree builds the workload.
+func NewRBTree(cfg Config) *RBTree { return &RBTree{cfg: cfg} }
+
+// Name implements Workload.
+func (r *RBTree) Name() string { return "rbtree-" + r.cfg.Values.String() }
+
+const (
+	rbKey = iota
+	rbLeft
+	rbRight
+	rbParent
+	rbColor // 1 = red, 0 = black
+	rbVal
+)
+
+const (
+	rbBlack = 0
+	rbRed   = 1
+)
+
+func (r *RBTree) nodeBytes() uint64 {
+	return uint64((rbVal + r.cfg.Values.ValueWords()) * mem.WordSize)
+}
+
+// Setup implements Workload: allocates per-thread trees and populates
+// every other key through the same insert code the benchmark runs.
+func (r *RBTree) Setup(s *sim.System) error {
+	r.sys = s
+	r.roots = make([]mem.Addr, r.cfg.Threads)
+	r.nils = make([]mem.Addr, r.cfg.Threads)
+	setup := s.SetupCtx()
+	for t := 0; t < r.cfg.Threads; t++ {
+		hdr, err := s.Heap().AllocLine(mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("rbtree: %w", err)
+		}
+		nilNode, err := s.Heap().Alloc(r.nodeBytes())
+		if err != nil {
+			return fmt.Errorf("rbtree: %w", err)
+		}
+		r.roots[t] = hdr
+		r.nils[t] = nilNode
+		s.Poke(nilNode+rbColor*mem.WordSize, rbBlack)
+		s.Poke(hdr, mem.Word(nilNode)) // empty tree: root = NIL
+	}
+	n := uint64(r.cfg.Elements)
+	per := n / uint64(r.cfg.Threads)
+	for t := 0; t < r.cfg.Threads; t++ {
+		base := uint64(t) * per
+		for k := base; k < base+per; k += 2 {
+			r.tree(setup, t).insert(k)
+		}
+	}
+	return nil
+}
+
+// tree binds a thread's tree to a context.
+func (r *RBTree) tree(ctx sim.Ctx, thread int) *rbt {
+	return &rbt{r: r, ctx: ctx, rootPtr: r.roots[thread], nil_: r.nils[thread]}
+}
+
+// rbt is one tree bound to one execution context.
+type rbt struct {
+	r       *RBTree
+	ctx     sim.Ctx
+	rootPtr mem.Addr
+	nil_    mem.Addr
+}
+
+func fieldAddr(n mem.Addr, f int) mem.Addr { return n + mem.Addr(f*mem.WordSize) }
+
+func (t *rbt) get(n mem.Addr, f int) mem.Addr {
+	return mem.Addr(t.ctx.Load(fieldAddr(n, f)))
+}
+func (t *rbt) set(n mem.Addr, f int, v mem.Addr) {
+	t.ctx.Store(fieldAddr(n, f), mem.Word(v))
+}
+func (t *rbt) key(n mem.Addr) uint64 { return uint64(t.ctx.Load(fieldAddr(n, rbKey))) }
+func (t *rbt) color(n mem.Addr) mem.Word {
+	return t.ctx.Load(fieldAddr(n, rbColor))
+}
+func (t *rbt) setColor(n mem.Addr, c mem.Word) {
+	t.ctx.Store(fieldAddr(n, rbColor), c)
+}
+func (t *rbt) root() mem.Addr     { return mem.Addr(t.ctx.Load(t.rootPtr)) }
+func (t *rbt) setRoot(n mem.Addr) { t.ctx.Store(t.rootPtr, mem.Word(n)) }
+
+// search returns the node with key k, or NIL.
+func (t *rbt) search(k uint64) mem.Addr {
+	x := t.root()
+	for x != t.nil_ {
+		xk := t.key(x)
+		t.ctx.Compute(4)
+		switch {
+		case k == xk:
+			return x
+		case k < xk:
+			x = t.get(x, rbLeft)
+		default:
+			x = t.get(x, rbRight)
+		}
+	}
+	return t.nil_
+}
+
+func (t *rbt) rotateLeft(x mem.Addr) {
+	y := t.get(x, rbRight)
+	yl := t.get(y, rbLeft)
+	t.set(x, rbRight, yl)
+	if yl != t.nil_ {
+		t.set(yl, rbParent, x)
+	}
+	xp := t.get(x, rbParent)
+	t.set(y, rbParent, xp)
+	if xp == t.nil_ {
+		t.setRoot(y)
+	} else if x == t.get(xp, rbLeft) {
+		t.set(xp, rbLeft, y)
+	} else {
+		t.set(xp, rbRight, y)
+	}
+	t.set(y, rbLeft, x)
+	t.set(x, rbParent, y)
+}
+
+func (t *rbt) rotateRight(x mem.Addr) {
+	y := t.get(x, rbLeft)
+	yr := t.get(y, rbRight)
+	t.set(x, rbLeft, yr)
+	if yr != t.nil_ {
+		t.set(yr, rbParent, x)
+	}
+	xp := t.get(x, rbParent)
+	t.set(y, rbParent, xp)
+	if xp == t.nil_ {
+		t.setRoot(y)
+	} else if x == t.get(xp, rbRight) {
+		t.set(xp, rbRight, y)
+	} else {
+		t.set(xp, rbLeft, y)
+	}
+	t.set(y, rbRight, x)
+	t.set(x, rbParent, y)
+}
+
+// insert adds key k (must be absent) and rebalances.
+func (t *rbt) insert(k uint64) {
+	z, err := t.r.sys.Heap().Alloc(t.r.nodeBytes())
+	if err != nil {
+		panic(fmt.Sprintf("rbtree: %v", err))
+	}
+	y := t.nil_
+	x := t.root()
+	for x != t.nil_ {
+		y = x
+		t.ctx.Compute(4)
+		if k < t.key(x) {
+			x = t.get(x, rbLeft)
+		} else {
+			x = t.get(x, rbRight)
+		}
+	}
+	t.ctx.Store(fieldAddr(z, rbKey), mem.Word(k))
+	t.set(z, rbParent, y)
+	if y == t.nil_ {
+		t.setRoot(z)
+	} else if k < t.key(y) {
+		t.set(y, rbLeft, z)
+	} else {
+		t.set(y, rbRight, z)
+	}
+	t.set(z, rbLeft, t.nil_)
+	t.set(z, rbRight, t.nil_)
+	t.setColor(z, rbRed)
+	storeValue(t.ctx, fieldAddr(z, rbVal), t.r.cfg.Values.ValueWords(), k)
+	t.insertFixup(z)
+}
+
+func (t *rbt) insertFixup(z mem.Addr) {
+	for {
+		zp := t.get(z, rbParent)
+		if zp == t.nil_ || t.color(zp) == rbBlack {
+			break
+		}
+		zpp := t.get(zp, rbParent)
+		if zp == t.get(zpp, rbLeft) {
+			y := t.get(zpp, rbRight)
+			if y != t.nil_ && t.color(y) == rbRed {
+				t.setColor(zp, rbBlack)
+				t.setColor(y, rbBlack)
+				t.setColor(zpp, rbRed)
+				z = zpp
+			} else {
+				if z == t.get(zp, rbRight) {
+					z = zp
+					t.rotateLeft(z)
+					zp = t.get(z, rbParent)
+					zpp = t.get(zp, rbParent)
+				}
+				t.setColor(zp, rbBlack)
+				t.setColor(zpp, rbRed)
+				t.rotateRight(zpp)
+			}
+		} else {
+			y := t.get(zpp, rbLeft)
+			if y != t.nil_ && t.color(y) == rbRed {
+				t.setColor(zp, rbBlack)
+				t.setColor(y, rbBlack)
+				t.setColor(zpp, rbRed)
+				z = zpp
+			} else {
+				if z == t.get(zp, rbLeft) {
+					z = zp
+					t.rotateRight(z)
+					zp = t.get(z, rbParent)
+					zpp = t.get(zp, rbParent)
+				}
+				t.setColor(zp, rbBlack)
+				t.setColor(zpp, rbRed)
+				t.rotateLeft(zpp)
+			}
+		}
+	}
+	t.setColor(t.root(), rbBlack)
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *rbt) transplant(u, v mem.Addr) {
+	up := t.get(u, rbParent)
+	if up == t.nil_ {
+		t.setRoot(v)
+	} else if u == t.get(up, rbLeft) {
+		t.set(up, rbLeft, v)
+	} else {
+		t.set(up, rbRight, v)
+	}
+	t.set(v, rbParent, up)
+}
+
+func (t *rbt) minimum(x mem.Addr) mem.Addr {
+	for {
+		l := t.get(x, rbLeft)
+		if l == t.nil_ {
+			return x
+		}
+		x = l
+	}
+}
+
+// delete removes node z and rebalances (CLRS RB-DELETE with sentinel).
+func (t *rbt) delete(z mem.Addr) {
+	y := z
+	yOrigColor := t.color(y)
+	var x mem.Addr
+	if t.get(z, rbLeft) == t.nil_ {
+		x = t.get(z, rbRight)
+		t.transplant(z, x)
+	} else if t.get(z, rbRight) == t.nil_ {
+		x = t.get(z, rbLeft)
+		t.transplant(z, x)
+	} else {
+		y = t.minimum(t.get(z, rbRight))
+		yOrigColor = t.color(y)
+		x = t.get(y, rbRight)
+		if t.get(y, rbParent) == z {
+			t.set(x, rbParent, y)
+		} else {
+			t.transplant(y, x)
+			zr := t.get(z, rbRight)
+			t.set(y, rbRight, zr)
+			t.set(zr, rbParent, y)
+		}
+		t.transplant(z, y)
+		zl := t.get(z, rbLeft)
+		t.set(y, rbLeft, zl)
+		t.set(zl, rbParent, y)
+		t.setColor(y, t.color(z))
+	}
+	if yOrigColor == rbBlack {
+		t.deleteFixup(x)
+	}
+	t.r.sys.Heap().Free(z, t.r.nodeBytes())
+}
+
+func (t *rbt) deleteFixup(x mem.Addr) {
+	for x != t.root() && t.color(x) == rbBlack {
+		xp := t.get(x, rbParent)
+		if x == t.get(xp, rbLeft) {
+			w := t.get(xp, rbRight)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(xp, rbRed)
+				t.rotateLeft(xp)
+				xp = t.get(x, rbParent)
+				w = t.get(xp, rbRight)
+			}
+			if t.color(t.get(w, rbLeft)) == rbBlack && t.color(t.get(w, rbRight)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = xp
+			} else {
+				if t.color(t.get(w, rbRight)) == rbBlack {
+					t.setColor(t.get(w, rbLeft), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateRight(w)
+					xp = t.get(x, rbParent)
+					w = t.get(xp, rbRight)
+				}
+				t.setColor(w, t.color(xp))
+				t.setColor(xp, rbBlack)
+				t.setColor(t.get(w, rbRight), rbBlack)
+				t.rotateLeft(xp)
+				x = t.root()
+			}
+		} else {
+			w := t.get(xp, rbLeft)
+			if t.color(w) == rbRed {
+				t.setColor(w, rbBlack)
+				t.setColor(xp, rbRed)
+				t.rotateRight(xp)
+				xp = t.get(x, rbParent)
+				w = t.get(xp, rbLeft)
+			}
+			if t.color(t.get(w, rbRight)) == rbBlack && t.color(t.get(w, rbLeft)) == rbBlack {
+				t.setColor(w, rbRed)
+				x = xp
+			} else {
+				if t.color(t.get(w, rbLeft)) == rbBlack {
+					t.setColor(t.get(w, rbRight), rbBlack)
+					t.setColor(w, rbRed)
+					t.rotateLeft(w)
+					xp = t.get(x, rbParent)
+					w = t.get(xp, rbLeft)
+				}
+				t.setColor(w, t.color(xp))
+				t.setColor(xp, rbBlack)
+				t.setColor(t.get(w, rbLeft), rbBlack)
+				t.rotateRight(xp)
+				x = t.root()
+			}
+		}
+	}
+	t.setColor(x, rbBlack)
+}
+
+// InsertOrRemove is one benchmark transaction on thread's tree.
+func (r *RBTree) InsertOrRemove(ctx sim.Ctx, thread int, key uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	t := r.tree(ctx, thread)
+	if z := t.search(key); z != t.nil_ {
+		t.delete(z)
+		return false
+	}
+	t.insert(key)
+	return true
+}
+
+// Contains reports membership (verification helper).
+func (r *RBTree) Contains(ctx sim.Ctx, thread int, key uint64) bool {
+	t := r.tree(ctx, thread)
+	return t.search(key) != t.nil_
+}
+
+// CheckInvariants validates the red-black properties of thread's tree,
+// returning node count or an error (test helper; untimed access advised).
+func (r *RBTree) CheckInvariants(ctx sim.Ctx, thread int) (int, error) {
+	t := r.tree(ctx, thread)
+	root := t.root()
+	if root != t.nil_ && t.color(root) != rbBlack {
+		return 0, fmt.Errorf("rbtree: root is red")
+	}
+	count := 0
+	var walk func(n mem.Addr, min, max uint64) (int, error)
+	walk = func(n mem.Addr, min, max uint64) (int, error) {
+		if n == t.nil_ {
+			return 1, nil
+		}
+		count++
+		k := t.key(n)
+		if k < min || k > max {
+			return 0, fmt.Errorf("rbtree: BST violation at key %d", k)
+		}
+		c := t.color(n)
+		if c == rbRed {
+			if t.color(t.get(n, rbLeft)) == rbRed || t.color(t.get(n, rbRight)) == rbRed {
+				return 0, fmt.Errorf("rbtree: red-red violation at key %d", k)
+			}
+		}
+		var lmax, rmin uint64
+		if k > 0 {
+			lmax = k - 1
+		}
+		rmin = k + 1
+		lh, err := walk(t.get(n, rbLeft), min, lmax)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := walk(t.get(n, rbRight), rmin, max)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("rbtree: black-height mismatch at key %d (%d vs %d)", k, lh, rh)
+		}
+		if c == rbBlack {
+			lh++
+		}
+		return lh, nil
+	}
+	_, err := walk(root, 0, ^uint64(0))
+	return count, err
+}
+
+// Run implements Workload.
+func (r *RBTree) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(r.cfg.Seed, thread)
+	per := uint64(r.cfg.Elements) / uint64(r.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < r.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		r.InsertOrRemove(ctx, thread, key)
+		ctx.Compute(20)
+	}
+}

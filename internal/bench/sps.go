@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// SPS is the paper's array-swap microbenchmark [Table III / Kiln]:
+// "random swaps between entries in a vector of values." Each transaction
+// loads two entries and stores them back exchanged.
+//
+// NVRAM layout: a flat vector of Elements entries, each valueWords words.
+type SPS struct {
+	cfg Config
+	sys *sim.System
+	vec mem.Addr
+	wpe int // words per entry
+}
+
+// NewSPS builds the workload.
+func NewSPS(cfg Config) *SPS {
+	return &SPS{cfg: cfg, wpe: cfg.Values.ValueWords()}
+}
+
+// Name implements Workload.
+func (s *SPS) Name() string { return "sps-" + s.cfg.Values.String() }
+
+// Setup implements Workload.
+func (s *SPS) Setup(sys *sim.System) error {
+	s.sys = sys
+	v, err := sys.Heap().AllocLine(uint64(s.cfg.Elements * s.wpe * mem.WordSize))
+	if err != nil {
+		return fmt.Errorf("sps: %w", err)
+	}
+	s.vec = v
+	for i := 0; i < s.cfg.Elements; i++ {
+		pokeValue(sys, s.entry(i), s.wpe, uint64(i))
+	}
+	return nil
+}
+
+func (s *SPS) entry(i int) mem.Addr {
+	return s.vec + mem.Addr(i*s.wpe*mem.WordSize)
+}
+
+// Swap is one benchmark transaction: exchange entries i and j.
+func (s *SPS) Swap(ctx sim.Ctx, i, j int) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	a, b := s.entry(i), s.entry(j)
+	for w := 0; w < s.wpe; w++ {
+		off := mem.Addr(w * mem.WordSize)
+		va := ctx.Load(a + off)
+		vb := ctx.Load(b + off)
+		ctx.Store(a+off, vb)
+		ctx.Store(b+off, va)
+	}
+}
+
+// Entry reads entry i's first word (verification helper).
+func (s *SPS) Entry(ctx sim.Ctx, i int) mem.Word { return ctx.Load(s.entry(i)) }
+
+// Run implements Workload: threads swap within disjoint vector segments.
+func (s *SPS) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(s.cfg.Seed, thread)
+	seg := s.cfg.Elements / s.cfg.Threads
+	base := thread * seg
+	for t := 0; t < s.cfg.TxnsPerThread; t++ {
+		i := base + rng.Intn(seg)
+		j := base + rng.Intn(seg)
+		if i == j {
+			j = base + (i-base+1)%seg
+		}
+		s.Swap(ctx, i, j)
+		ctx.Compute(8)
+	}
+}

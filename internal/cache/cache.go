@@ -1,0 +1,327 @@
+// Package cache implements the processor cache hierarchy the paper's
+// mechanisms live in: set-associative, write-back, write-allocate caches
+// (Hennessy/Patterson policies, paper Section II) with per-line valid,
+// dirty, and fwb state bits. The fwb bit and its IDLE/FLAG/FWB finite state
+// machine implement the paper's cache Force Write-Back mechanism
+// (Section IV-D, Figure 5).
+//
+// The caches are functional: lines hold real bytes, so the hardware logging
+// engine can extract undo values from hit or write-allocated lines exactly
+// as Figure 3(b)/(c) describes, and a simulated crash genuinely loses
+// whatever had not been written back.
+package cache
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  uint64 // total capacity
+	Ways       int    // associativity
+	HitCycles  uint64 // access latency
+	ScanCycles uint64 // cycles to scan one tag during an FWB pass
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	return int(c.SizeBytes / uint64(c.Ways) / mem.LineSize)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: Ways must be positive", c.Name)
+	}
+	if c.SizeBytes == 0 || c.SizeBytes%(uint64(c.Ways)*mem.LineSize) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible into %d ways of %d B lines",
+			c.Name, c.SizeBytes, c.Ways, mem.LineSize)
+	}
+	if c.HitCycles == 0 {
+		return fmt.Errorf("cache %s: HitCycles must be positive", c.Name)
+	}
+	return nil
+}
+
+// fwbState tracks the Figure 5 FSM per line. The state is fully determined
+// by the {fwb, dirty} bit pair; we store the fwb bit and derive the state.
+const (
+	stateIdle = iota // {fwb,dirty} = {0,0}
+	stateFlag        // {0,1}: dirty, needs flagging on next scan
+	stateFwb         // {1,1}: flagged, will be force-written-back
+)
+
+type line struct {
+	tag   mem.Addr // line-aligned address; valid only if valid==true
+	valid bool
+	dirty bool
+	fwb   bool
+	lru   uint64 // last-touch stamp
+	data  mem.Line
+}
+
+func (l *line) state() int {
+	switch {
+	case l.fwb && l.dirty:
+		return stateFwb
+	case l.dirty:
+		return stateFlag
+	default:
+		return stateIdle
+	}
+}
+
+// Stats aggregates per-cache counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64 // lines displaced by fills
+	WriteBacks uint64 // dirty lines pushed down (eviction, flush, or FWB)
+	FwbForced  uint64 // write-backs initiated by the FWB scanner
+	ScansRun   uint64 // FWB scan passes executed
+	ScanCycles uint64 // total cycles charged to tag scanning
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets*ways, row-major by set
+	tick  uint64 // LRU clock
+	stats Stats
+}
+
+// New creates an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, sets: cfg.Sets(), lines: make([]line, cfg.Sets()*cfg.Ways)}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NumLines returns the total line count (used for Table I fwb-bit sizing).
+func (c *Cache) NumLines() int { return len(c.lines) }
+
+func (c *Cache) setOf(lineAddr mem.Addr) int {
+	return int(uint64(lineAddr) / mem.LineSize % uint64(c.sets))
+}
+
+func (c *Cache) find(lineAddr mem.Addr) *line {
+	set := c.setOf(lineAddr)
+	base := set * c.cfg.Ways
+	for i := 0; i < c.cfg.Ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == lineAddr {
+			return l
+		}
+	}
+	return nil
+}
+
+// Lookup probes the cache; on a hit it refreshes LRU state and returns the
+// resident line. It does NOT count a miss (use CountMiss) so that callers
+// can probe without perturbing statistics.
+func (c *Cache) Lookup(addr mem.Addr) (*mem.Line, bool) {
+	l := c.find(addr.Line())
+	if l == nil {
+		return nil, false
+	}
+	c.tick++
+	l.lru = c.tick
+	c.stats.Hits++
+	return &l.data, true
+}
+
+// resident returns a pointer to the data of addr's line without touching
+// LRU or statistics (hierarchy-internal use after Install).
+func (c *Cache) resident(addr mem.Addr) *mem.Line {
+	if l := c.find(addr.Line()); l != nil {
+		return &l.data
+	}
+	return nil
+}
+
+// Probe reports presence and dirtiness without touching LRU or stats.
+func (c *Cache) Probe(addr mem.Addr) (present, dirty bool) {
+	l := c.find(addr.Line())
+	if l == nil {
+		return false, false
+	}
+	return true, l.dirty
+}
+
+// CountMiss records a miss.
+func (c *Cache) CountMiss() { c.stats.Misses++ }
+
+// MarkDirty sets the dirty bit of a resident line. Setting dirty resets the
+// fwb bit? No: per Figure 5, a write to a FLAG-state line leaves it dirty;
+// the fwb bit only advances on scans. A write to an FWB-state line keeps
+// {1,1}. So MarkDirty leaves fwb untouched.
+func (c *Cache) MarkDirty(addr mem.Addr) {
+	if l := c.find(addr.Line()); l != nil {
+		l.dirty = true
+	}
+}
+
+// Victim describes a line displaced or written back from a cache.
+type Victim struct {
+	Addr  mem.Addr
+	Data  mem.Line
+	Dirty bool
+}
+
+// Install fills addr's line with data, evicting the LRU way if the set is
+// full. The displaced line (if any, dirty or clean) is returned so the
+// caller can push dirty data down the hierarchy. Eviction resets the FSM to
+// IDLE for the victim (Figure 5: "if a cache line is evicted ... resets its
+// state to IDLE") — trivially true since the slot is reused.
+func (c *Cache) Install(addr mem.Addr, data *mem.Line, dirty bool) (Victim, bool) {
+	lineAddr := addr.Line()
+	set := c.setOf(lineAddr)
+	base := set * c.cfg.Ways
+
+	// If the line is already resident, refresh it in place (a duplicate
+	// copy in the same set would corrupt lookups).
+	if l := c.find(lineAddr); l != nil {
+		c.tick++
+		l.lru = c.tick
+		l.data = *data
+		l.dirty = l.dirty || dirty
+		return Victim{}, false
+	}
+
+	// Prefer an invalid way.
+	victimIdx := -1
+	for i := 0; i < c.cfg.Ways; i++ {
+		if !c.lines[base+i].valid {
+			victimIdx = base + i
+			break
+		}
+	}
+	var ev Victim
+	evicted := false
+	if victimIdx < 0 {
+		// Evict the least recently used way.
+		victimIdx = base
+		for i := 1; i < c.cfg.Ways; i++ {
+			if c.lines[base+i].lru < c.lines[victimIdx].lru {
+				victimIdx = base + i
+			}
+		}
+		v := &c.lines[victimIdx]
+		ev = Victim{Addr: v.tag, Data: v.data, Dirty: v.dirty}
+		evicted = true
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.WriteBacks++
+		}
+	}
+	c.tick++
+	c.lines[victimIdx] = line{tag: lineAddr, valid: true, dirty: dirty, lru: c.tick, data: *data}
+	return ev, evicted
+}
+
+// Invalidate removes addr's line, returning its data if it was present and
+// dirty so the caller can preserve the only up-to-date copy.
+func (c *Cache) Invalidate(addr mem.Addr) (Victim, bool) {
+	l := c.find(addr.Line())
+	if l == nil {
+		return Victim{}, false
+	}
+	v := Victim{Addr: l.tag, Data: l.data, Dirty: l.dirty}
+	l.valid = false
+	l.dirty = false
+	l.fwb = false
+	return v, true
+}
+
+// CleanLine clears the dirty (and fwb) bits of a resident line after its
+// data has been written back; the line stays valid (clwb semantics: write
+// back but retain).
+func (c *Cache) CleanLine(addr mem.Addr) {
+	if l := c.find(addr.Line()); l != nil {
+		l.dirty = false
+		l.fwb = false
+	}
+}
+
+// DirtyLine returns the data of addr's line if it is resident and dirty.
+func (c *Cache) DirtyLine(addr mem.Addr) (*mem.Line, bool) {
+	l := c.find(addr.Line())
+	if l == nil || !l.dirty {
+		return nil, false
+	}
+	return &l.data, true
+}
+
+// InvalidateAll drops every line (simulated power loss: caches are volatile,
+// Section III-A failure model).
+func (c *Cache) InvalidateAll() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// DirtyCount returns the number of dirty lines (test/diagnostic aid).
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// FwbScan runs one scanning pass of the Figure 5 FSM over every line:
+//
+//   - IDLE  {0,0}: nothing.
+//   - FLAG  {0,1}: set fwb=1 (write-back happens next pass if still dirty).
+//   - FWB   {1,1}: force the write-back via the callback, then reset to IDLE.
+//
+// The callback receives the victim and returns true when the write-back was
+// accepted; the line is then cleaned in place (it stays valid, like clwb).
+// The returned cycles are the tag-scan cost charged to the cache controller.
+func (c *Cache) FwbScan(writeBack func(Victim) bool) uint64 {
+	c.stats.ScansRun++
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid {
+			continue
+		}
+		switch l.state() {
+		case stateFlag:
+			l.fwb = true
+		case stateFwb:
+			if writeBack(Victim{Addr: l.tag, Data: l.data, Dirty: true}) {
+				l.dirty = false
+				l.fwb = false
+				c.stats.WriteBacks++
+				c.stats.FwbForced++
+			}
+		}
+	}
+	cost := uint64(len(c.lines)) * c.cfg.ScanCycles
+	c.stats.ScanCycles += cost
+	return cost
+}
+
+// ForEachDirty calls fn for every valid dirty line. Used by conservative
+// flush paths and by tests.
+func (c *Cache) ForEachDirty(fn func(addr mem.Addr, data *mem.Line)) {
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.dirty {
+			fn(l.tag, &l.data)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"testing"
+
+	"pmemlog/internal/mem"
+)
+
+func smallConfig(name string) Config {
+	return Config{Name: name, SizeBytes: 4 * 1024, Ways: 4, HitCycles: 4, ScanCycles: 1}
+}
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func lineWith(w mem.Word) *mem.Line {
+	var l mem.Line
+	l.SetWord(0, w)
+	return &l
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallConfig("l1").Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := smallConfig("l1")
+	bad.Ways = 0
+	if bad.Validate() == nil {
+		t.Error("zero ways accepted")
+	}
+	bad = smallConfig("l1")
+	bad.SizeBytes = 100
+	if bad.Validate() == nil {
+		t.Error("non-divisible size accepted")
+	}
+}
+
+func TestSetsGeometry(t *testing.T) {
+	cfg := Config{Name: "l1", SizeBytes: 32 * 1024, Ways: 8, HitCycles: 4}
+	if got := cfg.Sets(); got != 64 {
+		t.Errorf("32KB 8-way 64B lines: sets = %d, want 64", got)
+	}
+}
+
+func TestLookupMissThenInstallHit(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	if _, ok := c.Lookup(0x1000); ok {
+		t.Fatal("hit in empty cache")
+	}
+	c.CountMiss()
+	c.Install(0x1000, lineWith(42), false)
+	data, ok := c.Lookup(0x1000)
+	if !ok || data.Word(0) != 42 {
+		t.Fatalf("expected hit with word 42, got ok=%v", ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustCache(t, smallConfig("l1")) // 16 sets, 4 ways
+	sets := c.Config().Sets()
+	stride := mem.Addr(sets * mem.LineSize) // same set each time
+	// Fill all 4 ways of set 0.
+	for i := 0; i < 4; i++ {
+		c.Install(mem.Addr(i)*stride, lineWith(mem.Word(i)), false)
+	}
+	// Touch way 0 to make it MRU.
+	c.Lookup(0)
+	// Install a 5th line: LRU victim should be line 1 (the oldest untouched).
+	v, evicted := c.Install(4*stride, lineWith(4), false)
+	if !evicted {
+		t.Fatal("expected eviction")
+	}
+	if v.Addr != stride {
+		t.Errorf("victim = %v, want %v", v.Addr, stride)
+	}
+	if _, ok := c.Lookup(0); !ok {
+		t.Error("MRU line was evicted")
+	}
+}
+
+func TestDirtyVictimReturned(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	sets := c.Config().Sets()
+	stride := mem.Addr(sets * mem.LineSize)
+	c.Install(0, lineWith(7), true)
+	for i := 1; i < 5; i++ {
+		c.Install(mem.Addr(i)*stride, lineWith(mem.Word(i)), false)
+	}
+	// Line 0 was LRU and dirty; it must have come back as a dirty victim.
+	st := c.Stats()
+	if st.WriteBacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.WriteBacks)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(9), true)
+	v, present := c.Invalidate(0x40)
+	if !present || !v.Dirty || v.Data.Word(0) != 9 {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, v.Dirty)
+	}
+	if _, ok := c.Lookup(0x40); ok {
+		t.Error("line still present after invalidate")
+	}
+	if _, present := c.Invalidate(0x40); present {
+		t.Error("double invalidate reported presence")
+	}
+}
+
+func TestCleanLineKeepsData(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(3), true)
+	c.CleanLine(0x40)
+	if _, dirty := c.Probe(0x40); dirty {
+		t.Error("line still dirty after CleanLine")
+	}
+	if data, ok := c.Lookup(0x40); !ok || data.Word(0) != 3 {
+		t.Error("CleanLine lost data")
+	}
+}
+
+// TestFwbFSM exercises the Figure 5 state machine:
+// IDLE -> (write) FLAG -> (scan) FWB -> (scan) write-back -> IDLE.
+func TestFwbFSM(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(1), true) // dirty: FLAG state
+
+	var forced []mem.Addr
+	wb := func(v Victim) bool { forced = append(forced, v.Addr); return true }
+
+	// First scan: FLAG -> FWB (fwb bit set), no write-back yet.
+	c.FwbScan(wb)
+	if len(forced) != 0 {
+		t.Fatalf("first scan forced %d write-backs, want 0", len(forced))
+	}
+	// Second scan: FWB -> write-back -> IDLE.
+	c.FwbScan(wb)
+	if len(forced) != 1 || forced[0] != 0x40 {
+		t.Fatalf("second scan forced %v, want [0x40]", forced)
+	}
+	if _, dirty := c.Probe(0x40); dirty {
+		t.Error("line dirty after forced write-back")
+	}
+	// Third scan: IDLE, nothing happens.
+	c.FwbScan(wb)
+	if len(forced) != 1 {
+		t.Error("idle line was written back again")
+	}
+	st := c.Stats()
+	if st.FwbForced != 1 || st.ScansRun != 3 {
+		t.Errorf("FwbForced=%d ScansRun=%d, want 1/3", st.FwbForced, st.ScansRun)
+	}
+}
+
+// A line evicted between the FLAG and FWB scans must not be written back by
+// the scanner (Figure 5: eviction resets to IDLE).
+func TestFwbEvictionResetsState(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(1), true)
+	c.FwbScan(func(Victim) bool { return true }) // FLAG -> FWB
+	c.Invalidate(0x40)
+	var forced int
+	c.FwbScan(func(Victim) bool { forced++; return true })
+	if forced != 0 {
+		t.Errorf("evicted line force-written-back %d times", forced)
+	}
+}
+
+// A clean line re-dirtied after its write-back starts the FSM over.
+func TestFwbRedirtyRestartsFSM(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(1), true)
+	wb := func(Victim) bool { return true }
+	c.FwbScan(wb) // FLAG->FWB
+	c.FwbScan(wb) // written back, IDLE
+	c.MarkDirty(0x40)
+	var forced int
+	c.FwbScan(func(Victim) bool { forced++; return true }) // FLAG->FWB only
+	if forced != 0 {
+		t.Error("re-dirtied line written back without a FLAG pass")
+	}
+	c.FwbScan(func(Victim) bool { forced++; return true })
+	if forced != 1 {
+		t.Error("re-dirtied line never written back")
+	}
+}
+
+func TestScanCostCharged(t *testing.T) {
+	cfg := smallConfig("l1")
+	cfg.ScanCycles = 2
+	c := mustCache(t, cfg)
+	cost := c.FwbScan(func(Victim) bool { return true })
+	want := uint64(c.NumLines()) * 2
+	if cost != want {
+		t.Errorf("scan cost = %d, want %d", cost, want)
+	}
+}
+
+func TestDirtyCountAndForEachDirty(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(1), true)
+	c.Install(0x80, lineWith(2), false)
+	c.Install(0xc0, lineWith(3), true)
+	if got := c.DirtyCount(); got != 2 {
+		t.Errorf("DirtyCount = %d, want 2", got)
+	}
+	seen := map[mem.Addr]bool{}
+	c.ForEachDirty(func(a mem.Addr, _ *mem.Line) { seen[a] = true })
+	if !seen[0x40] || !seen[0xc0] || seen[0x80] {
+		t.Errorf("ForEachDirty visited %v", seen)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := mustCache(t, smallConfig("l1"))
+	c.Install(0x40, lineWith(1), true)
+	c.InvalidateAll()
+	if c.DirtyCount() != 0 {
+		t.Error("dirty lines survive InvalidateAll")
+	}
+	if _, ok := c.Lookup(0x40); ok {
+		t.Error("line survives InvalidateAll")
+	}
+}

@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// CoherenceState names a line's MESI-equivalent state as observed across
+// the hierarchy. The protocol implemented by Hierarchy is write-invalidate
+// with a single dirty owner; these labels make its invariants checkable:
+//
+//	Modified  — dirty in exactly one L1 (or only in L2), no other copies
+//	Exclusive — clean in exactly one L1
+//	Shared    — clean in more than one L1
+//	Invalid   — in no private cache (may still be in L2 or memory only)
+type CoherenceState int
+
+const (
+	Invalid CoherenceState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s CoherenceState) String() string {
+	switch s {
+	case Modified:
+		return "M"
+	case Exclusive:
+		return "E"
+	case Shared:
+		return "S"
+	default:
+		return "I"
+	}
+}
+
+// CoherenceInfo describes one line's cross-cache status.
+type CoherenceInfo struct {
+	State      CoherenceState
+	L1Copies   int // private caches holding the line
+	DirtyOwner int // core index of the dirty L1 copy, -1 if none
+	L2Present  bool
+	L2Dirty    bool
+}
+
+// Coherence inspects a line across every cache level (no LRU/stat effects).
+func (h *Hierarchy) Coherence(addr mem.Addr) CoherenceInfo {
+	info := CoherenceInfo{DirtyOwner: -1}
+	for i, c := range h.l1 {
+		present, dirty := c.Probe(addr)
+		if !present {
+			continue
+		}
+		info.L1Copies++
+		if dirty {
+			info.DirtyOwner = i
+		}
+	}
+	info.L2Present, info.L2Dirty = h.l2.Probe(addr)
+	switch {
+	case info.DirtyOwner >= 0:
+		info.State = Modified
+	case info.L1Copies > 1:
+		info.State = Shared
+	case info.L1Copies == 1:
+		info.State = Exclusive
+	default:
+		info.State = Invalid
+	}
+	return info
+}
+
+// CheckCoherence validates the protocol invariants for a line:
+//
+//  1. At most one private cache holds the line dirty.
+//  2. A dirty private copy coexists with no other private copies
+//     (write-invalidate: stores removed the sharers).
+//  3. If a private copy is dirty, the L2 copy (if any) is clean — the
+//     dirty ownership lives in exactly one place.
+func (h *Hierarchy) CheckCoherence(addr mem.Addr) error {
+	dirtyOwners := 0
+	copies := 0
+	for _, c := range h.l1 {
+		present, dirty := c.Probe(addr)
+		if present {
+			copies++
+		}
+		if dirty {
+			dirtyOwners++
+		}
+	}
+	if dirtyOwners > 1 {
+		return fmt.Errorf("cache: line %v dirty in %d private caches", addr.Line(), dirtyOwners)
+	}
+	if dirtyOwners == 1 && copies > 1 {
+		return fmt.Errorf("cache: line %v dirty with %d sharers", addr.Line(), copies)
+	}
+	if dirtyOwners == 1 {
+		if _, l2dirty := h.l2.Probe(addr); l2dirty {
+			return fmt.Errorf("cache: line %v dirty in both L1 and L2", addr.Line())
+		}
+	}
+	return nil
+}
+
+// CheckAllCoherence validates the invariants for every line resident in
+// any private cache (test harness helper).
+func (h *Hierarchy) CheckAllCoherence() error {
+	seen := map[mem.Addr]struct{}{}
+	var firstErr error
+	check := func(a mem.Addr) {
+		if _, ok := seen[a]; ok || firstErr != nil {
+			return
+		}
+		seen[a] = struct{}{}
+		if err := h.CheckCoherence(a); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, c := range h.l1 {
+		for i := range c.lines {
+			if c.lines[i].valid {
+				check(c.lines[i].tag)
+			}
+		}
+	}
+	return firstErr
+}

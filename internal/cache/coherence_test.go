@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmemlog/internal/mem"
+)
+
+func TestCoherenceStateLabels(t *testing.T) {
+	h, b := testHierarchy(t, 4)
+	b.img.WriteWord(0x100, 1)
+	addr := mem.Addr(0x100)
+
+	if got := h.Coherence(addr).State; got != Invalid {
+		t.Errorf("untouched line state = %v, want I", got)
+	}
+	// One clean reader: Exclusive.
+	h.LoadWord(0, 0, addr)
+	if got := h.Coherence(addr).State; got != Exclusive {
+		t.Errorf("single reader state = %v, want E", got)
+	}
+	// Two readers: Shared.
+	h.LoadWord(10, 1, addr)
+	if got := h.Coherence(addr).State; got != Shared {
+		t.Errorf("two readers state = %v, want S", got)
+	}
+	// A writer invalidates the sharers: Modified with one copy.
+	h.StoreWord(20, 2, addr, 9)
+	info := h.Coherence(addr)
+	if info.State != Modified || info.L1Copies != 1 || info.DirtyOwner != 2 {
+		t.Errorf("post-store coherence = %+v", info)
+	}
+	if err := h.CheckCoherence(addr); err != nil {
+		t.Errorf("invariants after store: %v", err)
+	}
+	// A flush demotes to clean ownership.
+	h.Flush(30, 2, addr)
+	if got := h.Coherence(addr).State; got != Exclusive {
+		t.Errorf("post-flush state = %v, want E", got)
+	}
+}
+
+// Property: the protocol invariants hold at every step of a random
+// multi-core op stream.
+func TestCoherenceInvariantsUnderRandomOps(t *testing.T) {
+	h, _ := testHierarchy(t, 4)
+	rng := rand.New(rand.NewSource(99))
+	now := uint64(0)
+	for i := 0; i < 30000; i++ {
+		addr := mem.Addr(rng.Intn(2048)) &^ 7
+		core := rng.Intn(4)
+		switch rng.Intn(4) {
+		case 0:
+			_, done, _ := h.LoadWord(now, core, addr)
+			now = done
+		case 1:
+			_, done, _ := h.StoreWord(now, core, addr, mem.Word(i))
+			now = done
+		case 2:
+			done, _ := h.Flush(now, core, addr)
+			now = done
+		default:
+			old, done, _ := h.FetchForStore(now, core, addr)
+			_ = old
+			now = h.CompleteStore(done, core, addr, mem.Word(i))
+		}
+		if i%500 == 0 {
+			if err := h.CheckAllCoherence(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := h.CheckAllCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FetchForStore must leave the line exclusively owned and unmodified until
+// CompleteStore, even when another core held it dirty.
+func TestFetchForStoreOwnership(t *testing.T) {
+	h, b := testHierarchy(t, 2)
+	b.img.WriteWord(0x200, 7)
+	h.StoreWord(0, 0, 0x200, 8) // core 0 owns dirty
+
+	old, done, _ := h.FetchForStore(100, 1, 0x200)
+	if old != 8 {
+		t.Errorf("FetchForStore old = %d, want 8 (remote dirty value)", old)
+	}
+	info := h.Coherence(0x200)
+	if info.L1Copies != 1 || info.DirtyOwner == 0 {
+		t.Errorf("ownership after FetchForStore: %+v", info)
+	}
+	// Value unchanged until CompleteStore.
+	w, _, _ := h.LoadWord(done, 1, 0x200)
+	if w != 8 {
+		t.Errorf("value changed before CompleteStore: %d", w)
+	}
+	h.CompleteStore(done, 1, 0x200, 9)
+	w2, _, _ := h.LoadWord(done+10, 1, 0x200)
+	if w2 != 9 {
+		t.Errorf("CompleteStore not visible: %d", w2)
+	}
+	if err := h.CheckCoherence(0x200); err != nil {
+		t.Error(err)
+	}
+}
+
+// CompleteStore transparently refetches when the line was displaced in
+// between (the engine may flush lines during OnStore).
+func TestCompleteStoreAfterDisplacement(t *testing.T) {
+	h, _ := testHierarchy(t, 1)
+	_, done, _ := h.FetchForStore(0, 0, 0x300)
+	// Simulate engine activity evicting the line.
+	h.L1(0).Invalidate(0x300)
+	d := h.CompleteStore(done, 0, 0x300, 5)
+	if d <= done {
+		t.Errorf("refetch charged no time: %d", d)
+	}
+	w, _, _ := h.LoadWord(d, 0, 0x300)
+	if w != 5 {
+		t.Errorf("value after refetch store = %d", w)
+	}
+}

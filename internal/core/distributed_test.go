@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"pmemlog/internal/nvlog"
+)
+
+// newDistRig builds an engine with per-thread sub-logs.
+func newDistRig(t *testing.T, numLogs int, entriesPerLog uint64) *rig {
+	t.Helper()
+	return newRig(t, 0, func(c *Config) {
+		c.NumLogs = numLogs
+		c.Log.SizeBytes = uint64(numLogs) * (nvlog.MetaSize + entriesPerLog*nvlog.FullEntrySize)
+	})
+}
+
+func TestDistributedRecordsRoutedByThread(t *testing.T) {
+	r := newDistRig(t, 2, 64)
+	if got := len(r.eng.LogBases()); got != 2 {
+		t.Fatalf("sub-logs = %d", got)
+	}
+	// Thread 0's transaction must land in sub-log 0, thread 1's in 1.
+	for tid := uint8(0); tid < 2; tid++ {
+		tx, err := r.eng.Begin(0, tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, done, _ := r.hier.StoreWord(0, int(tid), dataAddr(200+int(tid)), 9)
+		if _, err := r.eng.OnStore(done, tx, dataAddr(200+int(tid)), old, 9); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.eng.Commit(1000, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.ctl.DrainBuffers(1 << 20)
+	for i, base := range r.eng.LogBases() {
+		meta, err := nvlog.ReadMeta(r.nv.Image(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, _, err := nvlog.Scan(r.nv.Image(), base, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("sub-log %d received no records", i)
+		}
+		for _, e := range entries {
+			if int(e.ThreadID) != i {
+				t.Errorf("sub-log %d holds record of thread %d", i, e.ThreadID)
+			}
+		}
+	}
+}
+
+// One thread filling its own sub-log must not wedge the other thread.
+func TestDistributedIsolatedWedging(t *testing.T) {
+	r := newDistRig(t, 2, 8)
+	// Thread 0: a huge uncommitted transaction (wedges its sub-log since
+	// growing is disabled).
+	tx0, _ := r.eng.Begin(0, 0)
+	var wedged bool
+	now := uint64(0)
+	for i := 0; i < 20; i++ {
+		old, done, _ := r.hier.StoreWord(now, 0, dataAddr(300+i), 1)
+		d, err := r.eng.OnStore(done, tx0, dataAddr(300+i), old, 1)
+		if err == ErrLogWedged {
+			wedged = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d
+	}
+	if !wedged {
+		t.Fatal("thread 0 never wedged its sub-log")
+	}
+	// Thread 1 must still make progress on its own sub-log.
+	tx1, err := r.eng.Begin(now, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, done, _ := r.hier.StoreWord(now, 1, dataAddr(400), 2)
+	if _, err := r.eng.OnStore(done, tx1, dataAddr(400), old, 2); err != nil {
+		t.Fatalf("thread 1 blocked by thread 0's wedged log: %v", err)
+	}
+	if _, err := r.eng.Commit(now+1000, tx1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitLogRegionTooSmall(t *testing.T) {
+	cfg := nvlog.Config{Base: 0, SizeBytes: 256, Style: nvlog.UndoRedo}
+	if _, err := splitLogRegion(cfg, 8); err == nil {
+		t.Error("oversplit region accepted")
+	}
+}

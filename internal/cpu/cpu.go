@@ -1,0 +1,127 @@
+// Package cpu models the cores of the simulated processor (Table II:
+// 4 cores at 2.5 GHz, 2 threads per core, Intel Core i7 class). The model
+// is cycle-accounting rather than pipeline-structural: non-memory
+// instructions retire at a fixed issue rate, memory operations charge the
+// completion time the cache hierarchy reports, and fences stall the thread
+// until a given cycle. This is the level of detail the paper's *relative*
+// results depend on — the cost of software logging is its extra
+// instructions, extra memory operations, and serializing fences, all of
+// which are explicit here.
+package cpu
+
+import "fmt"
+
+// Config describes one hardware thread's timing.
+type Config struct {
+	ClockGHz float64 // cycle time = 1/ClockGHz ns (Table II: 2.5)
+	// IssueCPI16 is the base cost of a non-memory instruction in 1/16ths of
+	// a cycle (8 => CPI 0.5, an IPC-2 out-of-order core on ALU work).
+	IssueCPI16 uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("cpu: ClockGHz must be positive")
+	}
+	if c.IssueCPI16 == 0 {
+		return fmt.Errorf("cpu: IssueCPI16 must be positive")
+	}
+	return nil
+}
+
+// CyclesToSeconds converts a cycle count to wall-clock seconds.
+func (c Config) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / (c.ClockGHz * 1e9)
+}
+
+// Stats aggregates a thread's activity.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+	LoadOps      uint64
+	StoreOps     uint64
+	FenceOps     uint64
+	StallCycles  uint64 // cycles spent waiting on fences/backpressure
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Core is one hardware thread's clock and retirement counters.
+type Core struct {
+	cfg      Config
+	cycles16 uint64 // local clock in 1/16ths of a cycle
+	stats    Stats
+}
+
+// New creates a core at cycle zero.
+func New(cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg}, nil
+}
+
+// Now returns the thread's local clock in cycles.
+func (c *Core) Now() uint64 { return c.cycles16 / 16 }
+
+// Stats returns the counters with Cycles set to the current clock.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.Now()
+	return s
+}
+
+// Compute retires n non-memory instructions.
+func (c *Core) Compute(n uint64) {
+	c.cycles16 += n * c.cfg.IssueCPI16
+	c.stats.Instructions += n
+}
+
+// Load accounts one load instruction whose data arrives at done (cycles).
+func (c *Core) Load(done uint64) {
+	c.stats.Instructions++
+	c.stats.LoadOps++
+	c.advanceTo(done)
+}
+
+// Store accounts one store instruction completing (from the core's view —
+// entering the store path) at done.
+func (c *Core) Store(done uint64) {
+	c.stats.Instructions++
+	c.stats.StoreOps++
+	c.advanceTo(done)
+}
+
+// Fence retires a fence instruction and stalls until done.
+func (c *Core) Fence(done uint64) {
+	c.stats.Instructions++
+	c.stats.FenceOps++
+	c.StallUntil(done)
+}
+
+// Instr retires n instructions that overlap memory activity already
+// charged elsewhere (e.g. the instruction slot of clwb).
+func (c *Core) Instr(n uint64) { c.Compute(n) }
+
+// StallUntil advances the clock to cycle (no instruction retired),
+// recording the dead time as stall cycles.
+func (c *Core) StallUntil(cycle uint64) {
+	before := c.Now()
+	c.advanceTo(cycle)
+	if after := c.Now(); after > before {
+		c.stats.StallCycles += after - before
+	}
+}
+
+func (c *Core) advanceTo(cycle uint64) {
+	if t := cycle * 16; t > c.cycles16 {
+		c.cycles16 = t
+	}
+}

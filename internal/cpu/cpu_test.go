@@ -1,0 +1,92 @@
+package cpu
+
+import "testing"
+
+func newCore(t *testing.T) *Core {
+	t.Helper()
+	c, err := New(Config{ClockGHz: 2.5, IssueCPI16: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Config{ClockGHz: 0, IssueCPI16: 8}); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := New(Config{ClockGHz: 1, IssueCPI16: 0}); err == nil {
+		t.Error("zero CPI accepted")
+	}
+}
+
+func TestComputeAdvancesAtIssueRate(t *testing.T) {
+	c := newCore(t)
+	c.Compute(100) // CPI 0.5 => 50 cycles
+	if c.Now() != 50 {
+		t.Errorf("after 100 instrs: cycle %d, want 50", c.Now())
+	}
+	if c.Stats().Instructions != 100 {
+		t.Errorf("instructions = %d", c.Stats().Instructions)
+	}
+}
+
+func TestFractionalCPIAccumulates(t *testing.T) {
+	c := newCore(t)
+	for i := 0; i < 3; i++ {
+		c.Compute(1) // 0.5 cycles each
+	}
+	if c.Now() != 1 { // 1.5 cycles, integer part 1
+		t.Errorf("after 3 half-cycle instrs: cycle %d, want 1", c.Now())
+	}
+	c.Compute(1)
+	if c.Now() != 2 {
+		t.Errorf("after 4: cycle %d, want 2", c.Now())
+	}
+}
+
+func TestMemoryOpsAdvanceToCompletion(t *testing.T) {
+	c := newCore(t)
+	c.Load(115)
+	if c.Now() != 115 {
+		t.Errorf("load: cycle %d, want 115", c.Now())
+	}
+	c.Store(120)
+	if c.Now() != 120 {
+		t.Errorf("store: cycle %d, want 120", c.Now())
+	}
+	s := c.Stats()
+	if s.LoadOps != 1 || s.StoreOps != 1 || s.Instructions != 2 {
+		t.Errorf("stats: %+v", s)
+	}
+	// A completion time in the past must not move the clock backwards.
+	c.Load(10)
+	if c.Now() < 120 {
+		t.Error("clock moved backwards")
+	}
+}
+
+func TestFenceRecordsStall(t *testing.T) {
+	c := newCore(t)
+	c.Compute(20) // cycle 10
+	c.Fence(110)
+	s := c.Stats()
+	if c.Now() != 110 || s.StallCycles != 100 || s.FenceOps != 1 {
+		t.Errorf("fence: now=%d stall=%d fences=%d", c.Now(), s.StallCycles, s.FenceOps)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := newCore(t)
+	c.Compute(200) // 100 cycles, IPC 2
+	if got := c.Stats().IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	cfg := Config{ClockGHz: 2.5, IssueCPI16: 8}
+	if got := cfg.CyclesToSeconds(2_500_000_000); got != 1.0 {
+		t.Errorf("2.5e9 cycles = %v s, want 1", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package dram models the volatile DRAM tier of the hybrid DRAM+NVRAM main
+// memory (paper Section III-A). The paper's evaluation focuses on
+// persistent-data accesses to NVRAM and does not report DRAM numbers, so
+// this model is intentionally small: fixed-latency banked access with
+// byte-traffic counters. It exists so that the memory controller can route
+// volatile addresses somewhere real (e.g. allocator scratch space) and so
+// that a hybrid configuration is representable.
+package dram
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// Config describes the DRAM device. Latency is in CPU cycles.
+type Config struct {
+	Banks         int
+	AccessCycles  uint64 // uniform access latency (row model omitted)
+	BusCyclesLine uint64 // data-bus occupancy per 64 B transfer
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
+	}
+	if c.AccessCycles == 0 {
+		return fmt.Errorf("dram: AccessCycles must be positive")
+	}
+	return nil
+}
+
+// Stats aggregates device counters.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Device is a DRAM DIMM with a functional byte image.
+type Device struct {
+	cfg      Config
+	image    *mem.Physical
+	bankFree []uint64
+	busFree  uint64
+	stats    Stats
+}
+
+// New creates a DRAM device backed by a fresh image at [base, base+size).
+func New(cfg Config, base mem.Addr, size uint64) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:      cfg,
+		image:    mem.NewPhysical(base, size),
+		bankFree: make([]uint64, cfg.Banks),
+	}, nil
+}
+
+// Image exposes the functional byte store. DRAM contents do NOT survive a
+// simulated crash; the simulator zeroes the image on power loss.
+func (d *Device) Image() *mem.Physical { return d.image }
+
+// Stats returns a copy of the counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Access performs timing for one line-granular access starting no earlier
+// than now, returning the completion cycle.
+func (d *Device) Access(now uint64, addr mem.Addr, write bool, bytes int) uint64 {
+	bank := int(uint64(addr.Line()) / mem.LineSize % uint64(d.cfg.Banks))
+	start := now
+	if d.bankFree[bank] > start {
+		start = d.bankFree[bank]
+	}
+	if d.busFree > start {
+		start = d.busFree
+	}
+	done := start + d.cfg.AccessCycles
+	d.bankFree[bank] = done
+	d.busFree = start + d.cfg.BusCyclesLine
+	if write {
+		d.stats.Writes++
+		d.stats.BytesWritten += uint64(bytes)
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += uint64(bytes)
+	}
+	return done
+}
+
+// PowerLoss clears the volatile contents (simulated crash).
+func (d *Device) PowerLoss() {
+	d.image = mem.NewPhysical(d.image.Base(), d.image.Size())
+	d.bankFree = make([]uint64, d.cfg.Banks)
+	d.busFree = 0
+}

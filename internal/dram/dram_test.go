@@ -1,0 +1,66 @@
+package dram
+
+import (
+	"testing"
+
+	"pmemlog/internal/mem"
+)
+
+func mustDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(Config{Banks: 8, AccessCycles: 125, BusCyclesLine: 5}, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(Config{Banks: 0, AccessCycles: 1}, 0, 1024); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := New(Config{Banks: 1, AccessCycles: 0}, 0, 1024); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestAccessTimingAndStats(t *testing.T) {
+	d := mustDevice(t)
+	done := d.Access(10, 0, false, 64)
+	if done != 135 {
+		t.Errorf("read done = %d, want 135", done)
+	}
+	d.Access(done, 64, true, 64)
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.BytesRead != 64 || st.BytesWritten != 64 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	d := mustDevice(t)
+	// Lines 0 and 8 share bank 0 (8 banks, line interleave).
+	d1 := d.Access(0, 0, false, 64)
+	d2 := d.Access(0, mem.Addr(8*64), false, 64)
+	if d2 < d1+125 {
+		t.Errorf("same-bank accesses not serialized: %d %d", d1, d2)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	d := mustDevice(t)
+	d1 := d.Access(0, 0, false, 64)  // bank 0
+	d2 := d.Access(0, 64, false, 64) // bank 1: only the bus (5 cyc) delays it
+	if d2 > d1+5 {
+		t.Errorf("bank-parallel access over-serialized: %d vs %d", d2, d1)
+	}
+}
+
+func TestPowerLossClearsContents(t *testing.T) {
+	d := mustDevice(t)
+	d.Image().WriteWord(0x100, 42)
+	d.PowerLoss()
+	if got := d.Image().ReadWord(0x100); got != 0 {
+		t.Errorf("DRAM survived power loss: %d", got)
+	}
+}

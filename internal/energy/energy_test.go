@@ -1,0 +1,25 @@
+package energy
+
+import "testing"
+
+func TestAccount(t *testing.T) {
+	m := Model{ProcPJPerInstr: 100, L1PJ: 10, L2PJ: 50}
+	b := m.Account(1000, 500, 20, 12345)
+	wantProc := 1000*100.0 + 500*10.0 + 20*50.0
+	if b.ProcessorPJ != wantProc {
+		t.Errorf("processor = %v, want %v", b.ProcessorPJ, wantProc)
+	}
+	if b.MemoryPJ != 12345 {
+		t.Errorf("memory = %v", b.MemoryPJ)
+	}
+	if b.TotalPJ() != wantProc+12345 {
+		t.Errorf("total = %v", b.TotalPJ())
+	}
+}
+
+func TestDefaultIsSane(t *testing.T) {
+	m := Default()
+	if m.ProcPJPerInstr <= 0 || m.L1PJ <= 0 || m.L2PJ <= m.L1PJ {
+		t.Errorf("default model implausible: %+v", m)
+	}
+}

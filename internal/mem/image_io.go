@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Physical image serialization: a compact sparse format (only non-zero
+// lines are stored) so a simulated NVRAM DIMM can be written to a file and
+// re-attached by a later process — letting crash/recovery demos span real
+// process lifetimes, like a real persistent-memory device surviving a
+// reboot.
+//
+// Format: magic, base, size, then (lineIndex uint64, 64 raw bytes) pairs,
+// terminated by ^uint64(0).
+const imageMagic = 0x53464E56 // "SFNV"
+
+// WriteTo serializes the region sparsely.
+func (p *Physical) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		m, err := bw.Write(buf[:])
+		n += int64(m)
+		return err
+	}
+	if err := put(imageMagic); err != nil {
+		return n, err
+	}
+	if err := put(uint64(p.base)); err != nil {
+		return n, err
+	}
+	if err := put(p.Size()); err != nil {
+		return n, err
+	}
+	var zero [LineSize]byte
+	for off := 0; off < len(p.data); off += LineSize {
+		line := p.data[off : off+LineSize]
+		if string(line) == string(zero[:]) {
+			continue
+		}
+		if err := put(uint64(off / LineSize)); err != nil {
+			return n, err
+		}
+		m, err := bw.Write(line)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	if err := put(^uint64(0)); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadPhysical deserializes an image written by WriteTo.
+func ReadPhysical(r io.Reader) (*Physical, error) {
+	br := bufio.NewReader(r)
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("mem: image header: %w", err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("mem: bad image magic %#x", magic)
+	}
+	base, err := get()
+	if err != nil {
+		return nil, err
+	}
+	size, err := get()
+	if err != nil {
+		return nil, err
+	}
+	p := NewPhysical(Addr(base), size)
+	for {
+		idx, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("mem: image truncated: %w", err)
+		}
+		if idx == ^uint64(0) {
+			return p, nil
+		}
+		off := idx * LineSize
+		if off+LineSize > size {
+			return nil, fmt.Errorf("mem: image line %d outside region", idx)
+		}
+		if _, err := io.ReadFull(br, p.data[off:off+LineSize]); err != nil {
+			return nil, fmt.Errorf("mem: image line %d: %w", idx, err)
+		}
+	}
+}
+
+// CopyFrom overwrites this region's contents with another image of the
+// same geometry (re-attaching a persisted DIMM image to a fresh machine).
+func (p *Physical) CopyFrom(o *Physical) error {
+	if p.base != o.base || len(p.data) != len(o.data) {
+		return fmt.Errorf("mem: image geometry mismatch: %v+%d vs %v+%d",
+			p.base, len(p.data), o.base, len(o.data))
+	}
+	copy(p.data, o.data)
+	return nil
+}

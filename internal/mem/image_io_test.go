@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	p := NewPhysical(0x1000, 64<<10)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a := Addr(0x1000 + rng.Intn(64<<10)&^7)
+		p.WriteWord(a, Word(rng.Uint64()))
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPhysical(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatal("round-tripped image differs")
+	}
+}
+
+func TestImageSparseness(t *testing.T) {
+	p := NewPhysical(0, 1<<20) // 1 MB, almost all zero
+	p.WriteWord(0x500, 1)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4096 {
+		t.Errorf("sparse 1 MB image serialized to %d bytes", buf.Len())
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	if _, err := ReadPhysical(bytes.NewReader([]byte("not an image"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	p := NewPhysical(0, 4096)
+	p.WriteWord(0, 1)
+	p.WriteTo(&buf)
+	// Truncate mid-stream.
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPhysical(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewPhysical(0x1000, 4096)
+	b := NewPhysical(0x1000, 4096)
+	a.WriteWord(0x1100, 9)
+	if err := b.CopyFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadWord(0x1100) != 9 {
+		t.Error("copy lost data")
+	}
+	c := NewPhysical(0x2000, 4096)
+	if err := c.CopyFrom(a); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

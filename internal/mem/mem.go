@@ -1,0 +1,181 @@
+// Package mem provides the basic memory primitives shared by every layer of
+// the simulated persistent memory system: physical addresses, words, cache
+// lines, and a flat byte-addressable physical memory.
+//
+// The paper models a 64-bit machine with 64 B cache lines and 8 B words;
+// log records carry 48-bit physical addresses. Those constants live here so
+// that the cache hierarchy, the memory controller, the NVRAM device model,
+// and the hardware logging engine all agree on geometry.
+package mem
+
+import "fmt"
+
+const (
+	// WordSize is the size of a machine word in bytes. Log records hold a
+	// one-word undo value and a one-word redo value (paper Section III-A).
+	WordSize = 8
+	// LineSize is the cache line size in bytes (Table II: 64 B lines).
+	LineSize = 64
+	// WordsPerLine is the number of words in one cache line.
+	WordsPerLine = LineSize / WordSize
+	// AddrBits is the number of physical address bits carried in a log
+	// record (paper Figure 3(a): 48-bit physical address field).
+	AddrBits = 48
+	// MaxAddr is the first address beyond the 48-bit physical space.
+	MaxAddr = Addr(1) << AddrBits
+)
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// WordAligned returns the address rounded down to a word boundary.
+func (a Addr) WordAligned() Addr { return a &^ (WordSize - 1) }
+
+// LineOffset returns the byte offset of a within its cache line.
+func (a Addr) LineOffset() int { return int(a & (LineSize - 1)) }
+
+// WordIndex returns the index of the word containing a within its line.
+func (a Addr) WordIndex() int { return int(a&(LineSize-1)) / WordSize }
+
+// IsLineAligned reports whether a is aligned to a cache line boundary.
+func (a Addr) IsLineAligned() bool { return a&(LineSize-1) == 0 }
+
+// IsWordAligned reports whether a is aligned to a word boundary.
+func (a Addr) IsWordAligned() bool { return a&(WordSize-1) == 0 }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%012x", uint64(a)) }
+
+// Word is an 8-byte machine word, the granularity of undo/redo log values.
+type Word uint64
+
+// Line is the payload of one cache line.
+type Line [LineSize]byte
+
+// Word extracts the i-th word of the line (little-endian, as on x86).
+func (l *Line) Word(i int) Word {
+	var w Word
+	base := i * WordSize
+	for b := WordSize - 1; b >= 0; b-- {
+		w = w<<8 | Word(l[base+b])
+	}
+	return w
+}
+
+// SetWord stores w into the i-th word of the line.
+func (l *Line) SetWord(i int, w Word) {
+	base := i * WordSize
+	for b := 0; b < WordSize; b++ {
+		l[base+b] = byte(w >> (8 * b))
+	}
+}
+
+// Physical is a flat byte-addressable physical memory image. It is the
+// ground truth that survives simulated crashes: caches hold copies of its
+// lines, and recovery rewrites it through the log. Accesses are bounds
+// checked so that a buggy workload or allocator fails loudly.
+type Physical struct {
+	data []byte
+	base Addr
+}
+
+// NewPhysical creates a physical memory of the given size starting at base.
+// base and size must be line aligned.
+func NewPhysical(base Addr, size uint64) *Physical {
+	if !base.IsLineAligned() || size%LineSize != 0 {
+		panic(fmt.Sprintf("mem: physical region %v+%d not line aligned", base, size))
+	}
+	if uint64(base)+size > uint64(MaxAddr) {
+		panic(fmt.Sprintf("mem: physical region %v+%d exceeds %d-bit space", base, size, AddrBits))
+	}
+	return &Physical{data: make([]byte, size), base: base}
+}
+
+// Base returns the first address of the region.
+func (p *Physical) Base() Addr { return p.base }
+
+// Size returns the size of the region in bytes.
+func (p *Physical) Size() uint64 { return uint64(len(p.data)) }
+
+// Contains reports whether [a, a+n) lies inside the region.
+func (p *Physical) Contains(a Addr, n int) bool {
+	off := int64(a) - int64(p.base)
+	return off >= 0 && off+int64(n) <= int64(len(p.data))
+}
+
+func (p *Physical) offset(a Addr, n int) int {
+	off := int64(a) - int64(p.base)
+	if off < 0 || off+int64(n) > int64(len(p.data)) {
+		panic(fmt.Sprintf("mem: access %v+%d outside region [%v, %v)", a, n, p.base, p.base+Addr(len(p.data))))
+	}
+	return int(off)
+}
+
+// ReadLine copies the cache line containing a into dst.
+func (p *Physical) ReadLine(a Addr, dst *Line) {
+	off := p.offset(a.Line(), LineSize)
+	copy(dst[:], p.data[off:off+LineSize])
+}
+
+// WriteLine stores src into the cache line containing a.
+func (p *Physical) WriteLine(a Addr, src *Line) {
+	off := p.offset(a.Line(), LineSize)
+	copy(p.data[off:off+LineSize], src[:])
+}
+
+// ReadWord loads the word at the word-aligned address a.
+func (p *Physical) ReadWord(a Addr) Word {
+	a = a.WordAligned()
+	off := p.offset(a, WordSize)
+	var w Word
+	for b := WordSize - 1; b >= 0; b-- {
+		w = w<<8 | Word(p.data[off+b])
+	}
+	return w
+}
+
+// WriteWord stores w at the word-aligned address a.
+func (p *Physical) WriteWord(a Addr, w Word) {
+	a = a.WordAligned()
+	off := p.offset(a, WordSize)
+	for b := 0; b < WordSize; b++ {
+		p.data[off+b] = byte(w >> (8 * b))
+	}
+}
+
+// Read copies n bytes starting at a into a fresh slice.
+func (p *Physical) Read(a Addr, n int) []byte {
+	off := p.offset(a, n)
+	out := make([]byte, n)
+	copy(out, p.data[off:off+n])
+	return out
+}
+
+// Write stores src starting at address a.
+func (p *Physical) Write(a Addr, src []byte) {
+	off := p.offset(a, len(src))
+	copy(p.data[off:off+len(src)], src)
+}
+
+// Snapshot returns a deep copy of the region, used by the recovery checker
+// to compare post-crash NVRAM images against an oracle.
+func (p *Physical) Snapshot() *Physical {
+	cp := &Physical{data: make([]byte, len(p.data)), base: p.base}
+	copy(cp.data, p.data)
+	return cp
+}
+
+// Equal reports whether two regions have identical base, size and contents.
+func (p *Physical) Equal(o *Physical) bool {
+	if p.base != o.base || len(p.data) != len(o.data) {
+		return false
+	}
+	for i := range p.data {
+		if p.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,542 @@
+// Package nvlog implements the circular undo+redo log the paper keeps in
+// NVRAM (Section III-A, Figure 3(a)): a single-producer single-consumer
+// Lamport circular buffer of fixed-size records, each carrying a torn bit,
+// a 16-bit transaction ID, an 8-bit thread ID, a 48-bit physical address,
+// a one-word undo value, and a one-word redo value.
+//
+// A record's fields (Figure 3(a): 1-bit torn, 16-bit TxID, 8-bit thread,
+// 48-bit address, one-word undo, one-word redo ≈ 26 B) pack into a 32 B
+// slot, two per cache line, which the write-combining log buffer
+// coalesces. (The paper's "64K entries ≈ 4 MB" aside implies 64 B slots;
+// we follow the Figure 3(a) field layout instead — a 4 MB log holds 128K
+// records here, which only makes the FWB frequency law easier to satisfy.)
+//
+// The package is purely computational: it manages head/tail registers,
+// slot addressing, torn-bit parity, and record encoding. The *functional*
+// NVRAM writes are returned to the caller as Write descriptors so the
+// memory controller can apply them with proper timing and crash fidelity.
+// Recovery reads the NVRAM image directly (see ReadMeta/Scan).
+package nvlog
+
+import (
+	"errors"
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// Style selects which values records carry.
+type Style int
+
+const (
+	// UndoRedo records both old and new values (the paper's design).
+	UndoRedo Style = iota
+	// UndoOnly records only old values (undo logging baselines).
+	UndoOnly
+	// RedoOnly records only new values (redo logging baselines).
+	RedoOnly
+)
+
+func (s Style) String() string {
+	switch s {
+	case UndoRedo:
+		return "undo+redo"
+	case UndoOnly:
+		return "undo"
+	default:
+		return "redo"
+	}
+}
+
+// EntrySize returns the record size in bytes for the style.
+func (s Style) EntrySize() uint64 {
+	if s == UndoRedo {
+		return FullEntrySize
+	}
+	return CompactEntrySize
+}
+
+// Record kinds. The paper writes a "log record header" on the first cache
+// line update of a data object (Section III-E step 1a); we generalize to
+// explicit Header and Commit kinds alongside Update records. Commit records
+// make recovery's committed-transaction detection explicit (a documented
+// strengthening of the paper's value-matching heuristic).
+const (
+	KindHeader = 1 // transaction's first record: announces txid
+	KindUpdate = 2 // one store: addr + undo/redo values
+	KindCommit = 3 // transaction committed
+)
+
+const (
+	// FullEntrySize is the size of an undo+redo record (two per line).
+	FullEntrySize = 32
+	// CompactEntrySize is the size of an undo-only or redo-only record.
+	CompactEntrySize = 32
+	// MetaSize is the metadata block at the start of the log region: magic,
+	// persisted head, persisted tail, capacity, style (one line).
+	MetaSize = mem.LineSize
+
+	magic0 = 0x5F // "Steal but no Force"
+	magic1 = 0xB0
+)
+
+// Entry is one log record.
+type Entry struct {
+	Kind     uint8
+	TxID     uint16
+	ThreadID uint8
+	Addr     mem.Addr // 48-bit physical address of the logged word
+	Undo     mem.Word // old value (styles UndoRedo, UndoOnly)
+	Redo     mem.Word // new value (styles UndoRedo, RedoOnly)
+}
+
+// Write is a functional NVRAM write the caller must apply (through the
+// memory controller's tracked path) to make an append or truncate durable.
+type Write struct {
+	Addr  mem.Addr
+	Bytes []byte
+}
+
+// Encode serializes e into a record of the style's size. pass is the
+// record's pass number over the circular buffer (seq / capacity); its low
+// bit is the paper's torn bit, and the full 8-bit value is stored as a
+// pass stamp so a scan against a stale durable head cannot confuse pass N
+// with pass N+2 (a documented strengthening — under the paper's eager
+// pointer persistence one bit suffices; see DESIGN.md).
+func Encode(e Entry, style Style, pass uint64) []byte {
+	buf := make([]byte, style.EntrySize())
+	flags := e.Kind << 1
+	if pass%2 == 1 {
+		flags |= 1 // the torn bit
+	}
+	buf[0] = flags
+	buf[1] = e.ThreadID
+	buf[2] = byte(e.TxID)
+	buf[3] = byte(e.TxID >> 8)
+	buf[4] = magic0
+	buf[5] = magic1
+	buf[6] = byte(pass)
+	a := uint64(e.Addr)
+	for i := 0; i < 6; i++ { // 48-bit address
+		buf[8+i] = byte(a >> (8 * i))
+	}
+	switch style {
+	case UndoRedo:
+		putWord(buf[16:24], e.Undo)
+		putWord(buf[24:32], e.Redo)
+	case UndoOnly:
+		putWord(buf[16:24], e.Undo)
+	case RedoOnly:
+		putWord(buf[16:24], e.Redo)
+	}
+	return buf
+}
+
+// Decode parses a record. It returns the entry, its pass stamp (whose low
+// bit is the torn bit and must equal bit 0 of the flags), and whether the
+// record looks like a valid record of this log (magic bytes match and the
+// kind is known).
+func Decode(buf []byte, style Style) (Entry, uint8, bool) {
+	if len(buf) < int(style.EntrySize()) {
+		return Entry{}, 0, false
+	}
+	if buf[4] != magic0 || buf[5] != magic1 {
+		return Entry{}, 0, false
+	}
+	var e Entry
+	pass := buf[6]
+	if (buf[0]&1 == 1) != (pass%2 == 1) {
+		return Entry{}, 0, false // torn bit and pass stamp disagree
+	}
+	e.Kind = buf[0] >> 1
+	if e.Kind < KindHeader || e.Kind > KindCommit {
+		return Entry{}, 0, false
+	}
+	e.ThreadID = buf[1]
+	e.TxID = uint16(buf[2]) | uint16(buf[3])<<8
+	var a uint64
+	for i := 5; i >= 0; i-- {
+		a = a<<8 | uint64(buf[8+i])
+	}
+	e.Addr = mem.Addr(a)
+	switch style {
+	case UndoRedo:
+		e.Undo = getWord(buf[16:24])
+		e.Redo = getWord(buf[24:32])
+	case UndoOnly:
+		e.Undo = getWord(buf[16:24])
+	case RedoOnly:
+		e.Redo = getWord(buf[16:24])
+	}
+	return e, pass, true
+}
+
+func putWord(b []byte, w mem.Word) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(w >> (8 * i))
+	}
+}
+
+func getWord(b []byte) mem.Word {
+	var w mem.Word
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | mem.Word(b[i])
+	}
+	return w
+}
+
+// Config describes a log region in NVRAM.
+type Config struct {
+	Base      mem.Addr // line-aligned start (metadata occupies the first line)
+	SizeBytes uint64   // region size including metadata
+	Style     Style
+	// MetaEvery persists the tail pointer to NVRAM metadata every N appends
+	// (bounding how much of the log recovery must torn-bit-scan). 0 means
+	// capacity/4.
+	MetaEvery uint64
+	// LineAligned pads every record slot to a full cache line — what
+	// software logging implementations do to avoid partial-line writes and
+	// false sharing. The hardware design instead packs records two per
+	// line, coalesced by the log buffer; that density difference is part
+	// of the paper's NVRAM-traffic win (Fig 9).
+	LineAligned bool
+}
+
+// SlotSize returns the per-record slot size in bytes.
+func (c Config) SlotSize() uint64 {
+	if c.LineAligned {
+		return mem.LineSize
+	}
+	return c.Style.EntrySize()
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !c.Base.IsLineAligned() {
+		return fmt.Errorf("nvlog: base %v not line aligned", c.Base)
+	}
+	if c.SizeBytes < MetaSize+c.SlotSize() {
+		return fmt.Errorf("nvlog: region of %d bytes too small", c.SizeBytes)
+	}
+	return nil
+}
+
+// Capacity returns the number of entry slots the region holds.
+func (c Config) Capacity() uint64 {
+	return (c.SizeBytes - MetaSize) / c.SlotSize()
+}
+
+// ErrFull is returned by PrepareAppend when the circular buffer has no free
+// slot; the producer must truncate (after forcing write-backs) or grow.
+var ErrFull = errors.New("nvlog: log full")
+
+// Log manages one circular log. Head and tail are monotonically increasing
+// sequence numbers held in (volatile) special registers; slot = seq mod
+// capacity; torn parity = (seq / capacity) mod 2.
+type Log struct {
+	cfg           Config
+	head, tail    uint64
+	appendsSince  uint64 // appends since last tail-metadata persist
+	truncReserved uint64 // records truncated since last head-metadata persist
+	// headDurable is the head value of the last metadata write that the
+	// caller BARRIERED to completion (the PrepareAppend reuse contract).
+	// Ordinary lazy metadata writes must not advance it: they may still be
+	// in flight — or be reverted by a crash — when a colliding record
+	// lands, which is exactly the hazard the reuse rule exists to prevent.
+	headDurable uint64
+
+	// Statistics.
+	appends   uint64
+	truncates uint64
+	grows     uint64
+	metaSyncs uint64
+}
+
+// New creates an empty log over the region described by cfg. The returned
+// Write persists the initial metadata block.
+func New(cfg Config) (*Log, []Write, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.MetaEvery == 0 {
+		cfg.MetaEvery = cfg.Capacity() / 4
+		if cfg.MetaEvery == 0 {
+			cfg.MetaEvery = 1
+		}
+	}
+	l := &Log{cfg: cfg}
+	return l, []Write{l.metaWrite()}, nil
+}
+
+// Resume reopens a log at the pointer positions recovery left in the
+// durable metadata (post-reboot the sequence position must continue so
+// torn-bit parity stays unambiguous). No metadata write is needed — the
+// recovered metadata is already durable.
+func Resume(cfg Config, head, tail uint64) (*Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if head > tail || tail-head > cfg.Capacity() {
+		return nil, fmt.Errorf("nvlog: resume pointers head=%d tail=%d invalid for capacity %d",
+			head, tail, cfg.Capacity())
+	}
+	if cfg.MetaEvery == 0 {
+		cfg.MetaEvery = cfg.Capacity() / 4
+		if cfg.MetaEvery == 0 {
+			cfg.MetaEvery = 1
+		}
+	}
+	return &Log{cfg: cfg, head: head, tail: tail, headDurable: head}, nil
+}
+
+// Config returns the log configuration.
+func (l *Log) Config() Config { return l.cfg }
+
+// Capacity returns the slot count.
+func (l *Log) Capacity() uint64 { return l.cfg.Capacity() }
+
+// Head returns the head sequence number (oldest live record).
+func (l *Log) Head() uint64 { return l.head }
+
+// Tail returns the tail sequence number (next append slot).
+func (l *Log) Tail() uint64 { return l.tail }
+
+// Len returns the number of live records.
+func (l *Log) Len() uint64 { return l.tail - l.head }
+
+// Full reports whether the next append would overwrite a live record.
+func (l *Log) Full() bool { return l.Len() == l.Capacity() }
+
+// Occupancy returns Len/Capacity in [0,1].
+func (l *Log) Occupancy() float64 { return float64(l.Len()) / float64(l.Capacity()) }
+
+// SlotAddr returns the NVRAM address of the record with sequence seq.
+func (l *Log) SlotAddr(seq uint64) mem.Addr {
+	return l.cfg.Base + MetaSize + mem.Addr((seq%l.Capacity())*l.cfg.SlotSize())
+}
+
+func (l *Log) pass(seq uint64) uint64 { return seq / l.Capacity() }
+
+func (l *Log) metaWrite() Write {
+	buf := make([]byte, MetaSize)
+	buf[0] = magic0
+	buf[1] = magic1
+	putWord(buf[8:16], mem.Word(l.head))
+	putWord(buf[16:24], mem.Word(l.tail))
+	putWord(buf[24:32], mem.Word(l.Capacity()))
+	buf[32] = byte(l.cfg.Style)
+	if l.cfg.LineAligned {
+		buf[33] = 1
+	}
+	l.metaSyncs++
+	return Write{Addr: l.cfg.Base, Bytes: buf}
+}
+
+// PrepareAppend assigns the next slot to e and returns the functional
+// writes that make it durable (the record itself, plus a periodic tail
+// metadata sync). ErrFull means the caller must truncate or grow first.
+func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
+	if l.Full() {
+		return nil, ErrFull
+	}
+	seq := l.tail
+	var writes []Write
+	// Reusing a slot that a post-crash scan would still trust (its old
+	// sequence number is at or past the last BARRIERED durable head)
+	// requires persisting the advanced head first. CONTRACT: when the
+	// returned writes begin with a metadata write followed by the record,
+	// the caller must wait for the metadata write's completion before
+	// issuing the record (core.Engine.append and the software append path
+	// both do). Only then may headDurable advance.
+	if seq >= l.Capacity() && seq-l.Capacity() >= l.headDurable {
+		l.truncReserved = 0
+		writes = append(writes, l.metaWrite())
+		l.headDurable = l.head
+	}
+	payload := Encode(e, l.cfg.Style, l.pass(seq))
+	if l.cfg.LineAligned {
+		// A padded software log entry is written as its full line-sized
+		// struct (the padding is part of the store).
+		padded := make([]byte, l.cfg.SlotSize())
+		copy(padded, payload)
+		payload = padded
+	}
+	w := Write{Addr: l.SlotAddr(seq), Bytes: payload}
+	l.tail++
+	l.appends++
+	l.appendsSince++
+	writes = append(writes, w)
+	if l.appendsSince >= l.cfg.MetaEvery {
+		l.appendsSince = 0
+		writes = append(writes, l.metaWrite())
+	}
+	return writes, nil
+}
+
+// Truncate advances the head past n consumed records (the paper's
+// log_truncate). The head pointer is persisted lazily — every MetaEvery
+// truncated records — because a stale durable head is recovery-safe:
+// records before the volatile head were truncatable (committed and with
+// durable data), and redoing a committed record during recovery is
+// idempotent. Slots are only reused once the volatile head has passed
+// them, and any colliding append's metadata sync drains first (FIFO), so
+// the durable window never contains overwritten slots.
+func (l *Log) Truncate(n uint64) ([]Write, error) {
+	if n > l.Len() {
+		return nil, fmt.Errorf("nvlog: truncate %d > live %d", n, l.Len())
+	}
+	l.head += n
+	l.truncates++
+	l.truncReserved += n
+	if l.truncReserved >= l.cfg.MetaEvery {
+		l.truncReserved = 0
+		return []Write{l.metaWrite()}, nil
+	}
+	return nil, nil
+}
+
+// Grow migrates the log to a new, larger region (the paper's log_grow,
+// invoked when an uncommitted transaction fills the log). Live records are
+// re-encoded into the new region starting at sequence zero. A hardware
+// implementation chains regions via extra head/tail registers; migration
+// preserves the same observable behaviour (no record is lost) at a cost
+// charged through the returned writes. The caller supplies the image so
+// live records can be read back.
+func (l *Log) Grow(img *mem.Physical, newCfg Config) ([]Write, error) {
+	if err := newCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if newCfg.Style != l.cfg.Style {
+		return nil, errors.New("nvlog: grow cannot change style")
+	}
+	if newCfg.Capacity() <= l.Capacity() {
+		return nil, errors.New("nvlog: grow must increase capacity")
+	}
+	if newCfg.MetaEvery == 0 {
+		newCfg.MetaEvery = newCfg.Capacity() / 4
+	}
+
+	var writes []Write
+	oldHead, oldTail := l.head, l.tail
+	oldLog := *l // copy for slot math
+	l.cfg = newCfg
+	l.head, l.tail = 0, 0
+	l.appendsSince = 0
+	// The new region starts a fresh sequence space: every reuse watermark
+	// must restart with it, or post-grow slot reuse would skip the
+	// sync-before-reuse barrier.
+	l.headDurable = 0
+	l.truncReserved = 0
+	for seq := oldHead; seq < oldTail; seq++ {
+		raw := img.Read(oldLog.SlotAddr(seq), int(oldLog.cfg.Style.EntrySize()))
+		e, _, ok := Decode(raw, oldLog.cfg.Style)
+		if !ok {
+			return nil, fmt.Errorf("nvlog: grow found corrupt record at seq %d", seq)
+		}
+		ws, err := l.PrepareAppend(e)
+		if err != nil {
+			return nil, err
+		}
+		writes = append(writes, ws...)
+	}
+	l.grows++
+	writes = append(writes, l.metaWrite())
+	return writes, nil
+}
+
+// Stats reports log activity counters.
+type Stats struct {
+	Appends   uint64
+	Truncates uint64
+	Grows     uint64
+	MetaSyncs uint64
+}
+
+// Stats returns a copy of the counters.
+func (l *Log) Stats() Stats {
+	return Stats{Appends: l.appends, Truncates: l.truncates, Grows: l.grows, MetaSyncs: l.metaSyncs}
+}
+
+// --- Recovery-side helpers (read the NVRAM image directly) ---
+
+// Meta is the durable log metadata recovered after a crash.
+type Meta struct {
+	Head, Tail  uint64 // persisted pointers (tail may lag the true tail)
+	Capacity    uint64
+	Style       Style
+	LineAligned bool
+	// Forward is the base address of the region this log migrated to via
+	// log_grow (0 = this region is active). Recovery follows it.
+	Forward mem.Addr
+}
+
+// SlotSize returns the per-record slot size recorded in the metadata.
+func (m Meta) SlotSize() uint64 {
+	if m.LineAligned {
+		return mem.LineSize
+	}
+	return m.Style.EntrySize()
+}
+
+// ReadMeta parses the metadata block at base from a (post-crash) image.
+func ReadMeta(img *mem.Physical, base mem.Addr) (Meta, error) {
+	buf := img.Read(base, MetaSize)
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return Meta{}, errors.New("nvlog: bad metadata magic")
+	}
+	return Meta{
+		Head:        uint64(getWord(buf[8:16])),
+		Tail:        uint64(getWord(buf[16:24])),
+		Capacity:    uint64(getWord(buf[24:32])),
+		Style:       Style(buf[32]),
+		LineAligned: buf[33] == 1,
+		Forward:     mem.Addr(getWord(buf[40:48])),
+	}, nil
+}
+
+// ForwardWrite builds the metadata update that redirects a region to its
+// log_grow successor: recovery reading the old region's metadata follows
+// Forward to the active region. The caller must make this write durable
+// (drain to completion) before any append lands in the new region.
+func ForwardWrite(img *mem.Physical, oldBase, newBase mem.Addr) Write {
+	buf := img.Read(oldBase, MetaSize)
+	putWord(buf[40:48], mem.Word(newBase))
+	return Write{Addr: oldBase, Bytes: buf}
+}
+
+// Scan reads the live records from a post-crash image: starting at the
+// durable head, it accepts records while they decode cleanly with the
+// expected torn-bit parity — the paper's "completely-written log records
+// all have the same torn bit value" rule — and stops at the first hole,
+// even before the persisted tail. (Drain issue order is FIFO but
+// completions may interleave across NVRAM banks, so a record write can be
+// lost in a crash while a later one — including the tail metadata —
+// survives.) Stopping at the hole is safe: the log-before-data interlock
+// makes every data write-back and every durable-commit fence wait for the
+// *completion* of all earlier record writes, so a store whose record fell
+// into a hole can have neither stolen its way into NVRAM nor been part of
+// a durably-acknowledged commit. It returns the records in append order
+// along with the discovered true tail.
+func Scan(img *mem.Physical, base mem.Addr, meta Meta) ([]Entry, uint64, error) {
+	if meta.Capacity == 0 {
+		return nil, 0, errors.New("nvlog: zero capacity in metadata")
+	}
+	entrySize := meta.Style.EntrySize()
+	slotSize := meta.SlotSize()
+	slotAddr := func(seq uint64) mem.Addr {
+		return base + MetaSize + mem.Addr((seq%meta.Capacity)*slotSize)
+	}
+	expectPass := func(seq uint64) uint8 { return uint8(seq / meta.Capacity) }
+
+	var out []Entry
+	seq := meta.Head
+	for seq < meta.Head+meta.Capacity {
+		e, pass, ok := Decode(img.Read(slotAddr(seq), int(entrySize)), meta.Style)
+		if !ok || pass != expectPass(seq) {
+			break
+		}
+		out = append(out, e)
+		seq++
+	}
+	return out, seq, nil
+}

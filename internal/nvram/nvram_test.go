@@ -1,0 +1,191 @@
+package nvram
+
+import (
+	"testing"
+
+	"pmemlog/internal/mem"
+)
+
+func testConfig() Config {
+	return Config{
+		Banks:               8,
+		RowBytes:            2048,
+		RowHitCycles:        90,
+		ReadMissCycles:      250,
+		WriteMissCycles:     750,
+		BusCyclesPerLine:    10,
+		RowBufReadPJPerBit:  0.93,
+		RowBufWritePJPerBit: 1.02,
+		ArrayReadPJPerBit:   2.47,
+		ArrayWritePJPerBit:  16.82,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	d, err := New(cfg, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := testConfig()
+	bad.Banks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	bad = testConfig()
+	bad.RowBytes = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("non-line-multiple row accepted")
+	}
+	bad = testConfig()
+	bad.RowHitCycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestRowBufferHitVsConflict(t *testing.T) {
+	d := mustNew(t, testConfig())
+	// First access to a row: conflict.
+	done := d.Access(0, 0, false, 64)
+	if done != 250 {
+		t.Errorf("first read latency = %d, want 250 (conflict)", done)
+	}
+	// Second access, same bank (lines are striped across banks, so the
+	// next line in bank 0 is Banks lines away) and same row: hit.
+	sameBankNext := mem.Addr(8 * 64)
+	done2 := d.Access(done, sameBankNext, false, 64)
+	if done2 != done+90 {
+		t.Errorf("row hit latency = %d, want %d", done2-done, 90)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowConflicts != 1 {
+		t.Errorf("hits=%d conflicts=%d, want 1/1", st.RowHits, st.RowConflicts)
+	}
+}
+
+func TestWriteConflictLatency(t *testing.T) {
+	d := mustNew(t, testConfig())
+	done := d.Access(0, 0, true, 64)
+	if done != 750 {
+		t.Errorf("write conflict latency = %d, want 750", done)
+	}
+}
+
+func TestBankSerialization(t *testing.T) {
+	d := mustNew(t, testConfig())
+	// Two back-to-back accesses to the same bank (lines 0 and Banks),
+	// different rows: the second waits for the first. With 2 KB rows and
+	// 8 banks, bank 0's rows change every 32 of its lines, i.e. every
+	// 32*8 = 256 lines of address space.
+	cfg := testConfig()
+	sameBankDiffRow := mem.Addr(uint64(cfg.Banks) * (cfg.RowBytes / 64) * uint64(cfg.Banks) * 64)
+	d1 := d.Access(0, 0, false, 64)
+	d2 := d.Access(0, sameBankDiffRow, false, 64)
+	if d2 < d1+250 {
+		t.Errorf("same-bank access not serialized: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	d := mustNew(t, testConfig())
+	cfg := testConfig()
+	d1 := d.Access(0, 0, false, 64)  // line 0 -> bank 0
+	d2 := d.Access(0, 64, false, 64) // line 1 -> bank 1
+	// Bank-parallel accesses serialize only on the bus (10 cycles), not
+	// on the full access latency.
+	if d2 > d1+cfg.BusCyclesPerLine {
+		t.Errorf("bank-parallel access over-serialized: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	d := mustNew(t, testConfig())
+	d.Access(0, 0, false, 64) // read conflict: (2.47+1.02+0.93) pJ/bit * 512 bits
+	want := 512 * (2.47 + 1.02 + 0.93)
+	if got := d.Stats().EnergyPJ; !closeTo(got, want) {
+		t.Errorf("read conflict energy = %v, want %v", got, want)
+	}
+	before := d.Stats().EnergyPJ
+	d.Access(0, 8*64, true, 64) // same bank+row write hit: (1.02+16.82) pJ/bit * 512
+	wantW := 512 * (1.02 + 16.82)
+	if got := d.Stats().EnergyPJ - before; !closeTo(got, wantW) {
+		t.Errorf("write hit energy = %v, want %v", got, wantW)
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6*(1+b)
+}
+
+func TestTrafficCounters(t *testing.T) {
+	d := mustNew(t, testConfig())
+	d.Access(0, 0, true, 64)
+	d.Access(0, 64, true, 32) // partial write still occupies a 64 B burst
+	d.Access(0, 128, false, 64)
+	st := d.Stats()
+	if st.BytesWritten != 128 || st.BytesRead != 64 {
+		t.Errorf("traffic: wrote %d read %d, want 128/64", st.BytesWritten, st.BytesRead)
+	}
+	if st.Writes != 2 || st.Reads != 1 {
+		t.Errorf("ops: writes %d reads %d, want 2/1", st.Writes, st.Reads)
+	}
+}
+
+func TestWearTracking(t *testing.T) {
+	d := mustNew(t, testConfig())
+	d.SetWearTracking(true)
+	for i := 0; i < 5; i++ {
+		d.Access(0, 0x40, true, 64)
+	}
+	d.Access(0, 0x80, true, 64)
+	if w := d.WearOf(0x40); w != 5 {
+		t.Errorf("wear(0x40) = %d, want 5", w)
+	}
+	if m := d.MaxLineWear(); m != 5 {
+		t.Errorf("max wear = %d, want 5", m)
+	}
+}
+
+func TestResetTiming(t *testing.T) {
+	d := mustNew(t, testConfig())
+	d.Access(0, 0, false, 64)
+	d.ResetTiming()
+	// After reset the open row is forgotten: same row conflicts again.
+	done := d.Access(0, 0, false, 64)
+	if done != 250 {
+		t.Errorf("post-reset access latency = %d, want 250 (conflict)", done)
+	}
+}
+
+func TestSustainedWriteBandwidth(t *testing.T) {
+	cfg := testConfig()
+	// 2KB row = 32 lines; avg = (750 + 31*90)/32 = 110.625 cycles per line.
+	wantAvg := (750.0 + 31*90.0) / 32.0
+	if got := cfg.AvgAppendCyclesPerLine(); got != wantAvg {
+		t.Errorf("AvgAppendCyclesPerLine = %v, want %v", got, wantAvg)
+	}
+	wantBW := 64.0 / wantAvg
+	if got := cfg.SustainedWriteBandwidth(); got != wantBW {
+		t.Errorf("SustainedWriteBandwidth = %v, want %v", got, wantBW)
+	}
+}
+
+func TestImageIsFunctional(t *testing.T) {
+	d := mustNew(t, testConfig())
+	d.Image().WriteWord(0x100, 0xabcd)
+	if got := d.Image().ReadWord(0x100); got != 0xabcd {
+		t.Errorf("image word = %#x", got)
+	}
+}

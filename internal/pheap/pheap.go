@@ -1,0 +1,99 @@
+// Package pheap is a simple persistent-heap allocator over a region of
+// simulated NVRAM. Workloads build their data structures (hash tables,
+// trees, graphs) out of addresses it hands out, exactly as an NV-heaps /
+// Mnemosyne-style allocator would.
+//
+// Allocator *metadata* (bump pointer, free lists) is volatile, as in the
+// paper's workloads, whose persistent structures are re-attached by
+// recovery code rather than by a crash-consistent allocator; the data the
+// benchmarks measure lives entirely in NVRAM.
+package pheap
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// Heap allocates word-aligned blocks from [base, base+size).
+type Heap struct {
+	base mem.Addr
+	size uint64
+	off  uint64
+	free map[uint64][]mem.Addr // size class (rounded bytes) -> free blocks
+
+	allocs, frees uint64
+}
+
+// New creates a heap over the region. base must be line aligned so that
+// structure layouts can reason about line sharing.
+func New(base mem.Addr, size uint64) (*Heap, error) {
+	if !base.IsLineAligned() {
+		return nil, fmt.Errorf("pheap: base %v not line aligned", base)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("pheap: zero size")
+	}
+	return &Heap{base: base, size: size, free: make(map[uint64][]mem.Addr)}, nil
+}
+
+// round returns n rounded up to a word multiple.
+func round(n uint64) uint64 {
+	return (n + mem.WordSize - 1) &^ (mem.WordSize - 1)
+}
+
+// Base returns the heap's base address.
+func (h *Heap) Base() mem.Addr { return h.base }
+
+// Size returns the heap's capacity in bytes.
+func (h *Heap) Size() uint64 { return h.size }
+
+// Used returns bytes handed out and never freed (high-water accounting).
+func (h *Heap) Used() uint64 { return h.off }
+
+// Alloc returns a word-aligned block of at least n bytes.
+func (h *Heap) Alloc(n uint64) (mem.Addr, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("pheap: zero allocation")
+	}
+	n = round(n)
+	if blocks := h.free[n]; len(blocks) > 0 {
+		a := blocks[len(blocks)-1]
+		h.free[n] = blocks[:len(blocks)-1]
+		h.allocs++
+		return a, nil
+	}
+	if h.off+n > h.size {
+		return 0, fmt.Errorf("pheap: out of memory (%d used of %d, want %d)", h.off, h.size, n)
+	}
+	a := h.base + mem.Addr(h.off)
+	h.off += n
+	h.allocs++
+	return a, nil
+}
+
+// AllocLine returns a line-aligned block of at least n bytes (for
+// structures that must not share lines across threads).
+func (h *Heap) AllocLine(n uint64) (mem.Addr, error) {
+	pad := (mem.LineSize - h.off%mem.LineSize) % mem.LineSize
+	if h.off+pad+n > h.size {
+		return 0, fmt.Errorf("pheap: out of memory for line-aligned alloc")
+	}
+	h.off += pad
+	return h.Alloc((n + mem.LineSize - 1) &^ (mem.LineSize - 1))
+}
+
+// Free returns a block of n bytes to the size-class free list.
+func (h *Heap) Free(a mem.Addr, n uint64) {
+	n = round(n)
+	h.free[n] = append(h.free[n], a)
+	h.frees++
+}
+
+// Contains reports whether [a, a+n) lies inside the heap.
+func (h *Heap) Contains(a mem.Addr, n uint64) bool {
+	return a >= h.base && uint64(a-h.base)+n <= h.size
+}
+
+// Stats returns (allocs, frees).
+func (h *Heap) Stats() (uint64, uint64) { return h.allocs, h.frees }

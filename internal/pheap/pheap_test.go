@@ -1,0 +1,138 @@
+package pheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemlog/internal/mem"
+)
+
+func mustHeap(t *testing.T) *Heap {
+	t.Helper()
+	h, err := New(0x1000, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0x1008, 1024); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := New(0x1000, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestAllocAlignmentAndBounds(t *testing.T) {
+	h := mustHeap(t)
+	a, err := h.Alloc(5) // rounds to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsWordAligned() {
+		t.Error("allocation not word aligned")
+	}
+	if !h.Contains(a, 8) {
+		t.Error("allocation outside heap")
+	}
+	b, _ := h.Alloc(8)
+	if b < a+8 {
+		t.Errorf("allocations overlap: %v %v", a, b)
+	}
+}
+
+func TestAllocLineAlignment(t *testing.T) {
+	h := mustHeap(t)
+	h.Alloc(8) // misalign the bump pointer
+	a, err := h.AllocLine(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsLineAligned() {
+		t.Errorf("AllocLine returned %v", a)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	h, _ := New(0, 128)
+	if _, err := h.Alloc(256); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+	h.Alloc(128)
+	if _, err := h.Alloc(8); err == nil {
+		t.Error("allocation beyond capacity accepted")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	h := mustHeap(t)
+	a, _ := h.Alloc(32)
+	h.Free(a, 32)
+	b, _ := h.Alloc(32)
+	if a != b {
+		t.Errorf("freed block not reused: %v vs %v", a, b)
+	}
+	allocs, frees := h.Stats()
+	if allocs != 2 || frees != 1 {
+		t.Errorf("stats: %d/%d", allocs, frees)
+	}
+}
+
+func TestFreeListSizeClasses(t *testing.T) {
+	h := mustHeap(t)
+	a, _ := h.Alloc(16)
+	h.Free(a, 16)
+	// A different size class must not reuse the 16-byte block.
+	b, _ := h.Alloc(32)
+	if a == b {
+		t.Error("wrong size class reused")
+	}
+	// Same class (after rounding) does.
+	c, _ := h.Alloc(9) // rounds to 16
+	if c != a {
+		t.Errorf("16-byte class not reused: %v vs %v", c, a)
+	}
+}
+
+// Property: any interleaving of allocs/frees yields non-overlapping live
+// blocks, all inside the heap.
+func TestQuickNoOverlap(t *testing.T) {
+	f := func(sizes []uint16, freeMask []bool) bool {
+		h, err := New(0, 1<<20)
+		if err != nil {
+			return false
+		}
+		type block struct {
+			a mem.Addr
+			n uint64
+		}
+		var live []block
+		for i, sz := range sizes {
+			n := uint64(sz%512) + 1
+			a, err := h.Alloc(n)
+			if err != nil {
+				continue
+			}
+			rounded := (n + 7) &^ 7
+			if !h.Contains(a, rounded) {
+				return false
+			}
+			for _, b := range live {
+				if a < b.a+mem.Addr(b.n) && b.a < a+mem.Addr(rounded) {
+					return false // overlap
+				}
+			}
+			if i < len(freeMask) && freeMask[i] {
+				h.Free(a, n)
+			} else {
+				live = append(live, block{a, rounded})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

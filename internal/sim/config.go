@@ -1,0 +1,131 @@
+// Package sim assembles the full simulated machine — cores, cache
+// hierarchy, memory controller, NVRAM/DRAM devices, the hardware logging
+// engine — and executes multithreaded persistent-memory workloads against
+// it with deterministic, conservatively time-ordered scheduling. It is the
+// McSimA+ substitute described in DESIGN.md §2: workloads run *live*
+// against simulated memory (loads return real data), so control flow is
+// data dependent, while every operation is charged cycle costs from the
+// paper's Table II configuration.
+package sim
+
+import (
+	"fmt"
+
+	"pmemlog/internal/cache"
+	"pmemlog/internal/cpu"
+	"pmemlog/internal/dram"
+	"pmemlog/internal/energy"
+	"pmemlog/internal/mem"
+	"pmemlog/internal/memctl"
+	"pmemlog/internal/nvram"
+	"pmemlog/internal/txn"
+)
+
+// Config describes the simulated machine (defaults reproduce Table II).
+type Config struct {
+	Threads int // hardware threads (Table II: 4 cores x 2 threads)
+
+	CPU    cpu.Config
+	Caches cache.HierarchyConfig
+	Memctl memctl.Config
+	NVRAM  nvram.Config
+	DRAM   dram.Config
+
+	// Address map. DRAM occupies [0, DRAMBytes); NVRAM occupies
+	// [NVRAMBase, NVRAMBase+NVRAMBytes). Within NVRAM: the circular log,
+	// a reserve for log_grow, then the persistent heap.
+	NVRAMBase  mem.Addr
+	NVRAMBytes uint64
+	DRAMBytes  uint64
+
+	// LogBytes is the circular log region size (paper default 4 MB).
+	LogBytes uint64
+	// GrowReserveBytes is set aside for log_grow regions (0 disables).
+	GrowReserveBytes uint64
+	// GrowFactor passes through to the hardware engine.
+	GrowFactor int
+
+	Mode txn.Mode
+	// FwbScanInterval overrides the derived FWB interval (cycles).
+	FwbScanInterval uint64
+	// PerThreadLogs splits the log region into one circular log per
+	// hardware thread (the distributed-log alternative of Section III-F)
+	// instead of the paper's default centralized log.
+	PerThreadLogs bool
+
+	Energy energy.Model
+
+	// TrackOracle maintains the committed-state oracle used by crash
+	// consistency tests (costs memory proportional to the touched words).
+	TrackOracle bool
+}
+
+// DefaultConfig returns the paper's Table II machine with a 4 MB log.
+// Scale selects the simulated NVRAM capacity (the paper models 8 GB; tests
+// and benches use smaller images since only the touched region matters).
+func DefaultConfig(mode txn.Mode, threads int) Config {
+	return Config{
+		Threads: threads,
+		CPU:     cpu.Config{ClockGHz: 2.5, IssueCPI16: 8}, // IPC 2 on ALU work
+		Caches: cache.HierarchyConfig{
+			NumCores: threads,
+			// 32 KB, 8-way, 64 B lines, 1.6 ns ≈ 4 cycles @ 2.5 GHz
+			L1: cache.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, HitCycles: 4, ScanCycles: 1},
+			// 8 MB, 16-way, 4.4 ns ≈ 11 cycles
+			L2: cache.Config{Name: "L2", SizeBytes: 8 << 20, Ways: 16, HitCycles: 11, ScanCycles: 1},
+		},
+		Memctl: memctl.Config{
+			ReadQueue: 64, WriteQueue: 64,
+			WCBEntries:       6,  // "four to six cache-line sized entries"
+			LogBufferEntries: 15, // Section VI: "our implementation with a 15-entry log buffer"
+			QueueCycles:      2,
+		},
+		NVRAM: nvram.Config{
+			Banks: 8, RowBytes: 2 << 10,
+			RowHitCycles:    90,  // 36 ns
+			ReadMissCycles:  250, // 100 ns
+			WriteMissCycles: 750, // 300 ns
+			// 4 cycles per 64 B transfer = 16 GB/s at 2.5 GHz, a DDR4-class
+			// channel; bank timing above, not the bus, is the PCM limiter.
+			BusCyclesPerLine:   4,
+			RowBufReadPJPerBit: 0.93, RowBufWritePJPerBit: 1.02,
+			ArrayReadPJPerBit: 2.47, ArrayWritePJPerBit: 16.82,
+		},
+		DRAM:             dram.Config{Banks: 8, AccessCycles: 125, BusCyclesLine: 5},
+		NVRAMBase:        mem.Addr(1) << 32,
+		NVRAMBytes:       64 << 20,
+		DRAMBytes:        1 << 20,
+		LogBytes:         4 << 20,
+		GrowReserveBytes: 16 << 20,
+		GrowFactor:       2,
+		Mode:             mode,
+		Energy:           energy.Default(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Threads <= 0 {
+		return fmt.Errorf("sim: Threads must be positive")
+	}
+	if c.Caches.NumCores != c.Threads {
+		return fmt.Errorf("sim: Caches.NumCores (%d) != Threads (%d)", c.Caches.NumCores, c.Threads)
+	}
+	if c.LogBytes+c.GrowReserveBytes >= c.NVRAMBytes {
+		return fmt.Errorf("sim: log (%d) + grow reserve (%d) exceed NVRAM (%d)",
+			c.LogBytes, c.GrowReserveBytes, c.NVRAMBytes)
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Caches.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memctl.Validate(); err != nil {
+		return err
+	}
+	if err := c.NVRAM.Validate(); err != nil {
+		return err
+	}
+	return c.DRAM.Validate()
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pmemlog/internal/txn"
+)
+
+// perThreadConfig enables the Section III-F distributed per-thread logs.
+func perThreadConfig(mode txn.Mode, threads int) Config {
+	cfg := smallConfig(mode, threads)
+	cfg.PerThreadLogs = true
+	return cfg
+}
+
+func TestDistributedLogsRunClean(t *testing.T) {
+	s := mustSystem(t, perThreadConfig(txn.FWB, 4))
+	if got := len(s.Engine().LogBases()); got != 4 {
+		t.Fatalf("sub-logs = %d, want 4", got)
+	}
+	w, _ := counterWorkload(s, 4, 60, 8)
+	if err := s.RunN(w); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Transactions != 240 {
+		t.Errorf("transactions = %d", s.Stats().Transactions)
+	}
+	// Every thread's records went somewhere: all sub-logs appended.
+	var active int
+	for _, base := range s.Engine().LogBases() {
+		if base != 0 {
+			active++
+		}
+	}
+	if active != 4 {
+		t.Error("missing sub-log bases")
+	}
+}
+
+// The headline property must hold for distributed logs too: crash anywhere,
+// recover all regions, state is consistent.
+func TestDistributedCrashRecovery(t *testing.T) {
+	probe := mustSystem(t, perThreadConfig(txn.FWB, 4))
+	w, _ := counterWorkload(probe, 4, 40, 8)
+	if err := probe.RunN(w); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.WallCycles()
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		crashAt := uint64(rng.Int63n(int64(total))) + 1
+		s := mustSystem(t, perThreadConfig(txn.FWB, 4))
+		w, _ := counterWorkload(s, 4, 40, 8)
+		s.ScheduleCrash(crashAt)
+		if err := s.RunN(w); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := s.Recover()
+		if err != nil {
+			t.Fatalf("trial %d: recovery: %v", trial, err)
+		}
+		if bad := s.VerifyRecovery(rep, crashAt); len(bad) != 0 {
+			t.Fatalf("trial %d (crash@%d): %s", trial, crashAt, bad[0])
+		}
+	}
+}
+
+func TestDistributedLifecycleWithReboot(t *testing.T) {
+	s := mustSystem(t, perThreadConfig(txn.FWB, 2))
+	w, _ := counterWorkload(s, 2, 60, 8)
+	s.ScheduleCrash(1500)
+	if err := s.RunN(w); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Engine().LogBases()); got != 2 {
+		t.Fatalf("sub-logs after reboot = %d", got)
+	}
+	w2, _ := counterWorkload(s, 2, 60, 8)
+	if err := s.RunN(w2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Distributed sub-logs are smaller, so the derived FWB scan interval must
+// shrink accordingly (Section III-F's size/frequency trade-off).
+func TestDistributedScanIntervalShrinks(t *testing.T) {
+	central := mustSystem(t, smallConfig(txn.FWB, 4))
+	dist := mustSystem(t, perThreadConfig(txn.FWB, 4))
+	c, d := central.Engine().ScanInterval(), dist.Engine().ScanInterval()
+	if d >= c {
+		t.Errorf("distributed scan interval %d not below centralized %d", d, c)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Worker is one thread's workload body.
+type Worker func(Ctx)
+
+// Run executes one worker per hardware thread to completion (or until a
+// scheduled crash). Scheduling is deterministic and conservatively
+// time-ordered: at every step the thread with the smallest local clock
+// executes exactly one operation (ties broken by thread ID), so shared
+// structures are mutated in a reproducible global order, and no thread
+// observes state "from its future" by more than one operation.
+func (s *System) Run(workers []Worker) error {
+	if len(workers) != s.cfg.Threads {
+		return fmt.Errorf("sim: %d workers for %d threads", len(workers), s.cfg.Threads)
+	}
+	if s.crashed {
+		return errors.New("sim: machine already crashed; build a new System or Recover")
+	}
+	for i, w := range workers {
+		t := s.threads[i]
+		t.finished = false
+		t.aborted = false
+		t.err = nil
+		go t.run(w)
+	}
+
+	active := len(workers)
+	for active > 0 {
+		// Pick the unfinished thread with the smallest local clock.
+		var tmin *threadCtx
+		for _, t := range s.threads {
+			if t.finished {
+				continue
+			}
+			if tmin == nil || t.core.Now() < tmin.core.Now() {
+				tmin = t
+			}
+		}
+
+		// Crash check: fires when global time reaches the scheduled cycle.
+		if s.crashAt > 0 && !s.crashed && tmin.core.Now() >= s.crashAt {
+			s.crash(s.crashAt)
+			for _, t := range s.threads {
+				if t.finished {
+					continue
+				}
+				t.aborted = true
+				t.resume <- struct{}{}
+				<-t.ready
+			}
+			return ErrCrashed
+		}
+
+		wasFinished := tmin.finished
+		tmin.resume <- struct{}{}
+		<-tmin.ready
+		if tmin.finished && !wasFinished {
+			active--
+		}
+
+		// Background housekeeping at global (minimum) time.
+		gt := s.GlobalTime()
+		if s.eng != nil {
+			s.eng.FwbTick(gt)
+		}
+		s.ctl.Retire(gt)
+	}
+
+	var errs []error
+	for i, t := range s.threads {
+		if t.err != nil {
+			errs = append(errs, fmt.Errorf("thread %d: %w", i, t.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RunN is a convenience wrapper running the same worker body on every
+// thread (the paper's "one persistent transaction per thread" pattern,
+// Figure 4, generalized to a per-thread loop).
+func (s *System) RunN(w func(ctx Ctx, thread int)) error {
+	workers := make([]Worker, s.cfg.Threads)
+	for i := range workers {
+		i := i
+		workers[i] = func(c Ctx) { w(c, i) }
+	}
+	return s.Run(workers)
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+)
+
+// setupCtx is an untimed Ctx over the raw NVRAM image, used to populate
+// data structures before measurement (the equivalent of running a traced
+// process up to the region of interest). Writes are recorded as population
+// state in the oracle; transactions are no-ops.
+type setupCtx struct{ s *System }
+
+// SetupCtx returns an untimed context for pre-measurement population. It
+// must not be used concurrently with Run.
+func (s *System) SetupCtx() Ctx { return setupCtx{s: s} }
+
+func (c setupCtx) TxBegin()       {}
+func (c setupCtx) TxCommit()      {}
+func (c setupCtx) Compute(uint64) {}
+func (c setupCtx) ThreadID() int  { return 0 }
+
+func (c setupCtx) Load(addr mem.Addr) mem.Word {
+	if !addr.IsWordAligned() {
+		panic(fmt.Sprintf("sim: unaligned setup load at %v", addr))
+	}
+	return c.s.nv.Image().ReadWord(addr)
+}
+
+func (c setupCtx) Store(addr mem.Addr, w mem.Word) {
+	if !addr.IsWordAligned() {
+		panic(fmt.Sprintf("sim: unaligned setup store at %v", addr))
+	}
+	c.s.Poke(addr, w)
+}
+
+func (c setupCtx) LoadBytes(addr mem.Addr, n int) []byte {
+	return c.s.nv.Image().Read(addr, n)
+}
+
+func (c setupCtx) StoreBytes(addr mem.Addr, b []byte) {
+	c.s.PokeBytes(addr, b)
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"pmemlog/internal/txn"
+	"testing"
+)
+
+func TestStressCrashSweep(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.FWB, txn.HWL, txn.SWUndoClwb} {
+		for _, logKB := range []uint64{4, 16, 64} {
+			cfg := smallConfig(mode, 3)
+			cfg.LogBytes = logKB << 10
+			probe := mustSystem(t, cfg)
+			w, _ := counterWorkload(probe, 3, 30, 8)
+			if err := probe.RunN(w); err != nil {
+				t.Fatal(err)
+			}
+			total := probe.WallCycles()
+			rng := rand.New(rand.NewSource(int64(logKB)*100 + int64(mode)))
+			for trial := 0; trial < 25; trial++ {
+				crashAt := uint64(rng.Int63n(int64(total))) + 1
+				s := mustSystem(t, cfg)
+				w, _ := counterWorkload(s, 3, 30, 8)
+				s.ScheduleCrash(crashAt)
+				if err := s.RunN(w); !errors.Is(err, ErrCrashed) {
+					t.Fatalf("%v/%dKB trial %d: %v", mode, logKB, trial, err)
+				}
+				rep, err := s.Recover()
+				if err != nil {
+					t.Fatalf("%v/%dKB trial %d crash@%d: %v", mode, logKB, trial, crashAt, err)
+				}
+				if bad := s.VerifyRecovery(rep, crashAt); len(bad) != 0 {
+					t.Fatalf("%v/%dKB trial %d crash@%d: %s", mode, logKB, trial, crashAt, bad[0])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pmemlog/internal/cache"
+	"pmemlog/internal/core"
+	"pmemlog/internal/cpu"
+	"pmemlog/internal/dram"
+	"pmemlog/internal/mem"
+	"pmemlog/internal/memctl"
+	"pmemlog/internal/nvlog"
+	"pmemlog/internal/nvram"
+	"pmemlog/internal/pheap"
+	"pmemlog/internal/recovery"
+	"pmemlog/internal/stats"
+	"pmemlog/internal/txn"
+)
+
+// ErrCrashed is returned by Run when a scheduled crash fired.
+var ErrCrashed = errors.New("sim: machine crashed (power loss)")
+
+// System is one assembled machine instance.
+type System struct {
+	cfg  Config
+	spec txn.Spec
+
+	nv    *nvram.Device
+	dr    *dram.Device
+	ctl   *memctl.Controller
+	hier  *cache.Hierarchy
+	eng   *core.Engine // nil unless the mode uses hardware logging
+	swLog *nvlog.Log   // nil unless the mode uses software logging
+	heap  *pheap.Heap
+
+	cores   []*cpu.Core
+	threads []*threadCtx
+
+	growNext mem.Addr // bump pointer inside the grow reserve
+
+	oracle *oracle
+
+	crashAt uint64 // 0 = no crash scheduled
+	crashed bool
+
+	// population records pre-measurement Poke values for the recovery
+	// verifier's replay baseline (oracle mode only).
+	population map[mem.Addr]mem.Word
+
+	committedTxns uint64
+	txnLatencies  []uint64 // per-commit latency in cycles
+	benchName     string
+
+	// Software-logging shared state (centralized log, Section III-F).
+	swNextTxID uint16
+	swActive   map[int]uint64 // thread -> first live record sequence
+
+	// oracleByHandle maps hardware transaction handles to oracle records
+	// so the engine's truncation hook can mark provably-durable commits.
+	oracleByHandle map[uint64]*txRecord
+}
+
+// New builds the machine.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, spec: cfg.Mode.Spec(), swActive: make(map[int]uint64)}
+
+	var err error
+	if s.nv, err = nvram.New(cfg.NVRAM, cfg.NVRAMBase, cfg.NVRAMBytes); err != nil {
+		return nil, err
+	}
+	if s.dr, err = dram.New(cfg.DRAM, 0, cfg.DRAMBytes); err != nil {
+		return nil, err
+	}
+	if s.ctl, err = memctl.New(cfg.Memctl, s.nv, s.dr); err != nil {
+		return nil, err
+	}
+	if s.hier, err = cache.NewHierarchy(cfg.Caches, s.ctl); err != nil {
+		return nil, err
+	}
+
+	logBase := cfg.NVRAMBase
+	growBase := logBase + mem.Addr(cfg.LogBytes)
+	heapBase := growBase + mem.Addr(cfg.GrowReserveBytes)
+	heapSize := cfg.NVRAMBytes - cfg.LogBytes - cfg.GrowReserveBytes
+	s.growNext = growBase
+	if s.heap, err = pheap.New(heapBase, heapSize); err != nil {
+		return nil, err
+	}
+
+	logCfg := nvlog.Config{Base: logBase, SizeBytes: cfg.LogBytes}
+	numLogs := 1
+	if cfg.PerThreadLogs {
+		numLogs = cfg.Threads
+	}
+	switch {
+	case s.spec.HWLog:
+		logCfg.Style = s.spec.HWStyle
+		s.eng, err = core.New(core.Config{
+			Log:             logCfg,
+			MaxActiveTx:     256,
+			FwbScanInterval: cfg.FwbScanInterval,
+			FwbSafetyFactor: 2,
+			Unsafe:          s.spec.UnsafeHW,
+			DisableFWB:      !s.spec.UseFWB,
+			GrowFactor:      cfg.GrowFactor,
+			NumLogs:         numLogs,
+		}, s.ctl, s.hier)
+		if err != nil {
+			return nil, err
+		}
+		s.eng.SetGrowRegion(s.allocGrowRegion)
+		s.eng.SetTruncatedHook(s.onEngineTruncated)
+	case s.spec.SWLog:
+		logCfg.Style = s.spec.SWStyle
+		// Software logs pad records to cache lines (avoiding partial-line
+		// writes and false sharing); the hardware log buffer packs two
+		// 32 B records per line instead.
+		logCfg.LineAligned = true
+		var init []nvlog.Write
+		if s.swLog, init, err = nvlog.New(logCfg); err != nil {
+			return nil, err
+		}
+		// log_create blocks until the initial metadata is durable before
+		// the program starts (setup time, untracked).
+		for _, w := range init {
+			s.nv.Image().Write(w.Addr, w.Bytes)
+		}
+	}
+
+	for i := 0; i < cfg.Threads; i++ {
+		c, err := cpu.New(cfg.CPU)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, c)
+		s.threads = append(s.threads, newThreadCtx(s, i, c))
+	}
+	if cfg.TrackOracle {
+		s.oracle = newOracle()
+		s.population = make(map[mem.Addr]mem.Word)
+		s.oracleByHandle = make(map[uint64]*txRecord)
+	}
+	return s, nil
+}
+
+// onEngineTruncated records hardware truncation evidence in the oracle.
+func (s *System) onEngineTruncated(handle uint64, ev core.TruncEvidence) {
+	if rec := s.oracleByHandle[handle]; rec != nil {
+		rec.truncated = true
+		rec.truncLogIdx = ev.LogIdx
+		rec.truncEpoch = ev.Epoch
+		rec.truncLastSeq = ev.LastSeq
+	}
+}
+
+func (s *System) allocGrowRegion(size uint64) (mem.Addr, bool) {
+	end := s.cfg.NVRAMBase + mem.Addr(s.cfg.LogBytes+s.cfg.GrowReserveBytes)
+	if s.growNext+mem.Addr(size) > end {
+		return 0, false
+	}
+	a := s.growNext
+	s.growNext += mem.Addr(size)
+	return a, true
+}
+
+// Heap returns the persistent heap allocator.
+func (s *System) Heap() *pheap.Heap { return s.heap }
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Hierarchy exposes the cache tree (tests, Table I sizing).
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Controller exposes the memory controller (tests).
+func (s *System) Controller() *memctl.Controller { return s.ctl }
+
+// Engine exposes the hardware logging engine (nil for non-HW modes).
+func (s *System) Engine() *core.Engine { return s.eng }
+
+// NVRAMImage exposes the persistent byte image (recovery, verification).
+func (s *System) NVRAMImage() *mem.Physical { return s.nv.Image() }
+
+// LogBase returns the circular log's base address.
+func (s *System) LogBase() mem.Addr {
+	if s.eng != nil {
+		return s.eng.Log().Config().Base
+	}
+	if s.swLog != nil {
+		return s.swLog.Config().Base
+	}
+	return s.cfg.NVRAMBase
+}
+
+// SetBenchName labels the stats produced by this system.
+func (s *System) SetBenchName(name string) { s.benchName = name }
+
+// Poke writes a word directly into NVRAM, bypassing timing — used only for
+// pre-measurement population (like warming a Pin-traced process before the
+// region of interest). The oracle tracks it as committed state.
+func (s *System) Poke(addr mem.Addr, w mem.Word) {
+	s.nv.Image().WriteWord(addr, w)
+	if s.oracle != nil {
+		a := addr.WordAligned()
+		s.oracle.commitWord(a, w)
+		s.population[a] = w
+	}
+}
+
+// PokeBytes writes bytes directly into NVRAM for population.
+func (s *System) PokeBytes(addr mem.Addr, b []byte) {
+	s.nv.Image().Write(addr, b)
+	if s.oracle != nil {
+		for i := 0; i+int(mem.WordSize) <= len(b); i += mem.WordSize {
+			a := (addr + mem.Addr(i)).WordAligned()
+			w := s.nv.Image().ReadWord(a)
+			s.oracle.commitWord(a, w)
+			s.population[a] = w
+		}
+	}
+}
+
+// Peek reads a word directly from the NVRAM image (verification only).
+func (s *System) Peek(addr mem.Addr) mem.Word { return s.nv.Image().ReadWord(addr) }
+
+// ScheduleCrash arranges a power loss once global time reaches cycle.
+func (s *System) ScheduleCrash(cycle uint64) { s.crashAt = cycle }
+
+// Crashed reports whether the scheduled crash fired.
+func (s *System) Crashed() bool { return s.crashed }
+
+// CommittedOracle returns the expected durable word values for every
+// committed update (requires TrackOracle).
+func (s *System) CommittedOracle() map[mem.Addr]mem.Word {
+	if s.oracle == nil {
+		return nil
+	}
+	return s.oracle.committed
+}
+
+// Recover runs the paper's recovery procedure against the post-crash NVRAM
+// image (the caches were already invalidated by the crash). Under
+// distributed logging, every per-thread log region is recovered.
+func (s *System) Recover() (recovery.Report, error) {
+	if s.eng != nil {
+		return recovery.RecoverAll(s.nv.Image(), s.eng.LogBases())
+	}
+	return recovery.Recover(s.nv.Image(), s.LogBase())
+}
+
+// Reboot rebuilds the volatile machine state — cores, caches, memory
+// controller, logging engine — over the surviving NVRAM image so execution
+// can continue after Recover. The log is reopened at the pointers recovery
+// persisted (sequence position continues, keeping torn bits unambiguous);
+// the heap allocator's volatile metadata carries over, standing in for an
+// application re-attaching its persistent structures.
+func (s *System) Reboot() error {
+	if !s.crashed {
+		return errors.New("sim: Reboot without a crash")
+	}
+	var err error
+	if s.ctl, err = memctl.New(s.cfg.Memctl, s.nv, s.dr); err != nil {
+		return err
+	}
+	if s.hier, err = cache.NewHierarchy(s.cfg.Caches, s.ctl); err != nil {
+		return err
+	}
+	// Reopen the log where it currently lives (log_grow may have moved a
+	// centralized log; distributed sub-logs are re-derived by the engine).
+	logCfg := nvlog.Config{Base: s.LogBase(), SizeBytes: s.cfg.LogBytes}
+	numLogs := 1
+	if s.cfg.PerThreadLogs {
+		numLogs = s.cfg.Threads
+	} else if s.eng != nil {
+		logCfg = s.eng.Log().Config()
+	} else if s.swLog != nil {
+		logCfg = s.swLog.Config()
+	}
+	logCfg.MetaEvery = 0
+	switch {
+	case s.spec.HWLog:
+		logCfg.Style = s.spec.HWStyle
+		s.eng, err = core.New(core.Config{
+			Log:             logCfg,
+			MaxActiveTx:     256,
+			FwbScanInterval: s.cfg.FwbScanInterval,
+			FwbSafetyFactor: 2,
+			Unsafe:          s.spec.UnsafeHW,
+			DisableFWB:      !s.spec.UseFWB,
+			GrowFactor:      s.cfg.GrowFactor,
+			NumLogs:         numLogs,
+			Resume:          true,
+		}, s.ctl, s.hier)
+		if err != nil {
+			return err
+		}
+		s.eng.SetGrowRegion(s.allocGrowRegion)
+		s.eng.SetTruncatedHook(s.onEngineTruncated)
+	case s.spec.SWLog:
+		logCfg.Style = s.spec.SWStyle
+		logCfg.LineAligned = true
+		meta, err := nvlog.ReadMeta(s.nv.Image(), logCfg.Base)
+		if err != nil {
+			return fmt.Errorf("sim: reboot: %w", err)
+		}
+		if s.swLog, err = nvlog.Resume(logCfg, meta.Head, meta.Tail); err != nil {
+			return err
+		}
+	}
+
+	s.cores = s.cores[:0]
+	s.threads = s.threads[:0]
+	for i := 0; i < s.cfg.Threads; i++ {
+		c, err := cpu.New(s.cfg.CPU)
+		if err != nil {
+			return err
+		}
+		s.cores = append(s.cores, c)
+		s.threads = append(s.threads, newThreadCtx(s, i, c))
+	}
+	s.swActive = make(map[int]uint64)
+	s.crashed = false
+	s.crashAt = 0
+	return nil
+}
+
+// SaveNVRAM serializes the NVRAM image (sparsely) so a later process can
+// re-attach it — the simulated DIMM surviving a real process exit.
+func (s *System) SaveNVRAM(w io.Writer) error {
+	_, err := s.nv.Image().WriteTo(w)
+	return err
+}
+
+// LoadNVRAM replaces the NVRAM contents with a previously saved image of
+// identical geometry. Call before running anything (typically followed by
+// Recover on a crashed image).
+func (s *System) LoadNVRAM(r io.Reader) error {
+	img, err := mem.ReadPhysical(r)
+	if err != nil {
+		return err
+	}
+	return s.nv.Image().CopyFrom(img)
+}
+
+// DumpLog decodes the durable log records currently in NVRAM (all regions,
+// buffered records excluded) — a debugging/inspection aid.
+func (s *System) DumpLog() ([]nvlog.Entry, error) {
+	bases := []mem.Addr{s.LogBase()}
+	if s.eng != nil {
+		bases = s.eng.LogBases()
+	}
+	var out []nvlog.Entry
+	for _, base := range bases {
+		meta, err := nvlog.ReadMeta(s.nv.Image(), base)
+		if err != nil {
+			return nil, err
+		}
+		entries, _, err := nvlog.Scan(s.nv.Image(), base, meta)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+	}
+	return out, nil
+}
+
+// GlobalTime returns the minimum local clock over all threads — the
+// earliest time at which anything can still happen.
+func (s *System) GlobalTime() uint64 {
+	var min uint64 = ^uint64(0)
+	for _, c := range s.cores {
+		if n := c.Now(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// WallCycles returns the maximum local clock (run duration).
+func (s *System) WallCycles() uint64 {
+	var max uint64
+	for _, c := range s.cores {
+		if n := c.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Stats assembles the run's metric bundle.
+func (s *System) Stats() stats.Run {
+	r := stats.Run{
+		Benchmark: s.benchName,
+		Mode:      s.spec.Name,
+		Threads:   s.cfg.Threads,
+		Cycles:    s.WallCycles(),
+	}
+	r.Seconds = s.cfg.CPU.CyclesToSeconds(r.Cycles)
+	var l1a, l2a uint64
+	for i, c := range s.cores {
+		cs := c.Stats()
+		r.Instructions += cs.Instructions
+		r.StallCycles += cs.StallCycles
+		l1s := s.hier.L1(i).Stats()
+		r.L1Hits += l1s.Hits
+		r.L1Misses += l1s.Misses
+		l1a += l1s.Hits + l1s.Misses
+	}
+	l2s := s.hier.L2().Stats()
+	r.L2Hits, r.L2Misses = l2s.Hits, l2s.Misses
+	l2a = l2s.Hits + l2s.Misses
+	r.Transactions = s.committedTxns
+	if len(s.txnLatencies) > 0 {
+		lat := make([]uint64, len(s.txnLatencies))
+		copy(lat, s.txnLatencies)
+		r.TxnLatencyP50 = stats.Percentile(lat, 50)
+		r.TxnLatencyP99 = stats.Percentile(lat, 99)
+		r.TxnLatencyMax = lat[len(lat)-1]
+	}
+
+	nvs := s.nv.Stats()
+	r.NVRAMReadBytes = nvs.BytesRead
+	r.NVRAMWriteBytes = nvs.BytesWritten
+	r.MemEnergyPJ = nvs.EnergyPJ
+	dirty := s.hier.L2().DirtyCount()
+	for i := range s.cores {
+		dirty += s.hier.L1(i).DirtyCount()
+	}
+	r.ResidualDirtyBytes = uint64(dirty) * mem.LineSize
+	// The deferred write-backs also carry deferred write energy; charge it
+	// so no-force designs compare fairly against never-writing baselines.
+	r.MemEnergyPJ += float64(r.ResidualDirtyBytes*8) *
+		(s.cfg.NVRAM.ArrayWritePJPerBit + s.cfg.NVRAM.RowBufWritePJPerBit)
+	cs := s.ctl.Stats()
+	r.LogWriteBytes = cs.LogWriteBytes
+	r.LogBufStalls = cs.LogBufStalls
+	if s.eng != nil {
+		es := s.eng.Stats()
+		r.FwbScans = es.ScansRun
+		r.FwbForced = 0
+		for i := range s.cores {
+			r.FwbForced += s.hier.L1(i).Stats().FwbForced
+		}
+		r.FwbForced += l2s.FwbForced
+		r.LogAppends = es.Records
+	}
+	if s.swLog != nil {
+		r.LogAppends = s.swLog.Stats().Appends
+	}
+	b := s.cfg.Energy.Account(r.Instructions, l1a, l2a, nvs.EnergyPJ)
+	r.ProcEnergyPJ = b.ProcessorPJ
+	return r
+}
+
+// crash performs the power loss: caches and buffers lose contents,
+// in-flight NVRAM writes revert, DRAM clears.
+func (s *System) crash(atCycle uint64) {
+	s.crashed = true
+	s.ctl.Crash(atCycle)
+	s.hier.InvalidateAll()
+}
+
+func (s *System) String() string {
+	return fmt.Sprintf("sim.System{mode=%s threads=%d log=%dKB}", s.spec.Name, s.cfg.Threads, s.cfg.LogBytes>>10)
+}

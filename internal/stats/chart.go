@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — the terminal rendition
+// of the paper's figures. Values are scaled so the longest bar spans
+// `width` cells; a reference line (e.g. the unsafe-base 1.0 normalization)
+// is marked with '|' inside the bars when it falls within range.
+func BarChart(title string, labels []string, values []float64, reference float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if reference > max {
+		max = reference
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	refCell := -1
+	if reference > 0 {
+		refCell = int(reference / max * float64(width))
+		if refCell >= width {
+			refCell = width - 1
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		n := int(values[i] / max * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		row := make([]byte, width)
+		for c := range row {
+			switch {
+			case c < n:
+				row[c] = '#'
+			case c == refCell:
+				row[c] = '|'
+			default:
+				row[c] = ' '
+			}
+		}
+		if refCell >= 0 && refCell < n {
+			row[refCell] = '|'
+		}
+		fmt.Fprintf(&b, "%-*s %s %s\n", labelW, l, string(row),
+			strconv.FormatFloat(values[i], 'f', 3, 64))
+	}
+	return b.String()
+}
+
+// ChartColumn renders one column of a Table as a bar chart, using the
+// first column as labels. Non-numeric cells are skipped.
+func (t *Table) ChartColumn(col int, reference float64, width int) string {
+	if col <= 0 || col >= len(t.Header) {
+		return ""
+	}
+	var labels []string
+	var values []float64
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		labels = append(labels, row[0])
+		values = append(values, v)
+	}
+	return BarChart(t.Header[col]+" (| = "+strconv.FormatFloat(reference, 'f', 1, 64)+")",
+		labels, values, reference, width)
+}

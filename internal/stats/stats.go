@@ -1,0 +1,259 @@
+// Package stats collects per-run metrics and renders the paper-style
+// normalized tables the experiment harness prints (Figures 6-11 report
+// everything normalized to the unsafe-base configuration).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Run is the metric bundle produced by one simulation.
+type Run struct {
+	Benchmark string
+	Mode      string
+	Threads   int
+
+	Cycles       uint64 // wall-clock cycles (max over threads)
+	Instructions uint64 // total retired instructions
+	Transactions uint64 // committed transactions
+	Seconds      float64
+
+	NVRAMReadBytes  uint64
+	NVRAMWriteBytes uint64
+	LogWriteBytes   uint64 // portion of NVRAM writes carrying log records
+	// ResidualDirtyBytes is the steady-state correction for finite runs:
+	// dirty lines still cached at the end are deferred write-backs that a
+	// longer run would have paid; traffic comparisons include them so that
+	// designs which defer write-backs (no-force) are not falsely penalized
+	// against designs that never write anything back (unsafe baselines).
+	ResidualDirtyBytes uint64
+
+	MemEnergyPJ  float64
+	ProcEnergyPJ float64
+
+	// Transaction commit latencies in cycles (begin to commit-return);
+	// percentiles are the storage-facing view of fence/flush costs.
+	TxnLatencyP50 uint64
+	TxnLatencyP99 uint64
+	TxnLatencyMax uint64
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	StallCycles      uint64
+	FwbScans         uint64
+	FwbForced        uint64
+	LogAppends       uint64
+	LogBufStalls     uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Run) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Throughput returns committed transactions per second.
+func (r Run) Throughput() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return float64(r.Transactions) / r.Seconds
+}
+
+// Speedup returns r's throughput relative to base's.
+func (r Run) Speedup(base Run) float64 { return ratio(r.Throughput(), base.Throughput()) }
+
+// IPCSpeedup returns r's IPC relative to base's.
+func (r Run) IPCSpeedup(base Run) float64 { return ratio(r.IPC(), base.IPC()) }
+
+// InstrRatio returns r's instruction count relative to base's.
+func (r Run) InstrRatio(base Run) float64 {
+	return ratio(float64(r.Instructions), float64(base.Instructions))
+}
+
+// EnergyReduction returns base's memory dynamic energy divided by r's
+// (higher is better, as plotted in Figure 8).
+func (r Run) EnergyReduction(base Run) float64 { return ratio(base.MemEnergyPJ, r.MemEnergyPJ) }
+
+// TotalWriteBytes is NVRAM write traffic including the residual-dirty
+// steady-state correction.
+func (r Run) TotalWriteBytes() uint64 { return r.NVRAMWriteBytes + r.ResidualDirtyBytes }
+
+// TrafficReduction returns base's NVRAM write bytes divided by r's
+// (higher is better, Figure 9).
+func (r Run) TrafficReduction(base Run) float64 {
+	return ratio(float64(base.TotalWriteBytes()), float64(r.TotalWriteBytes()))
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Percentile returns the p-th percentile (0..100) of the values; the
+// slice is sorted in place.
+func Percentile(vals []uint64, p float64) uint64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	idx := int(p / 100 * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// Geomean returns the geometric mean of strictly positive values; zeros
+// and negatives are skipped.
+func Geomean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table renders aligned rows for terminal output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row, formatting each cell.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunSet indexes runs by (benchmark, mode, threads) for normalization.
+type RunSet struct {
+	runs map[string]Run
+}
+
+// NewRunSet creates an empty set.
+func NewRunSet() *RunSet { return &RunSet{runs: make(map[string]Run)} }
+
+func key(bench, mode string, threads int) string {
+	return fmt.Sprintf("%s|%s|%d", bench, mode, threads)
+}
+
+// Put stores a run.
+func (s *RunSet) Put(r Run) { s.runs[key(r.Benchmark, r.Mode, r.Threads)] = r }
+
+// Get retrieves a run.
+func (s *RunSet) Get(bench, mode string, threads int) (Run, bool) {
+	r, ok := s.runs[key(bench, mode, threads)]
+	return r, ok
+}
+
+// Benchmarks lists the distinct benchmark names, sorted.
+func (s *RunSet) Benchmarks() []string {
+	seen := map[string]bool{}
+	for _, r := range s.runs {
+		seen[r.Benchmark] = true
+	}
+	out := make([]string, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnsafeBase returns the better of the two unsafe software-logging runs
+// (the paper's unsafe-base dashed line is "the best case achieved between
+// either redo or undo logging for that benchmark").
+func (s *RunSet) UnsafeBase(bench string, threads int) (Run, bool) {
+	u, okU := s.Get(bench, "sw-ulog", threads)
+	r, okR := s.Get(bench, "sw-rlog", threads)
+	switch {
+	case okU && okR:
+		if u.Throughput() >= r.Throughput() {
+			return u, true
+		}
+		return r, true
+	case okU:
+		return u, true
+	case okR:
+		return r, true
+	}
+	return Run{}, false
+}

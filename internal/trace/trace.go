@@ -1,0 +1,312 @@
+// Package trace records and replays workload operation streams — the
+// equivalent of the Pin traces that drive McSimA+ (paper Section V).
+// A workload is executed once against a live machine while every Ctx
+// operation is captured; the resulting trace can then be replayed against
+// any number of differently-configured machines (other logging designs,
+// cache sizes, log buffer sizes) with identical memory behaviour, which
+// both speeds up design-space sweeps and gives a strong cross-configuration
+// determinism check.
+//
+// Traces serialize to a compact varint binary format.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// OpKind identifies one recorded operation.
+type OpKind uint8
+
+const (
+	OpCompute OpKind = iota + 1
+	OpLoad
+	OpStore
+	OpLoadBytes
+	OpStoreBytes
+	OpTxBegin
+	OpTxCommit
+)
+
+// Op is one recorded Ctx operation.
+type Op struct {
+	Kind OpKind
+	Addr mem.Addr
+	Val  mem.Word // store value / compute amount
+	Data []byte   // StoreBytes payload
+	N    int      // LoadBytes length
+}
+
+// Trace is the recorded op streams of every thread.
+type Trace struct {
+	Threads [][]Op
+}
+
+// recorder wraps a Ctx, forwarding every call and appending it to the
+// thread's stream.
+type recorder struct {
+	sim.Ctx
+	ops *[]Op
+}
+
+func (r recorder) Compute(n uint64) {
+	*r.ops = append(*r.ops, Op{Kind: OpCompute, Val: mem.Word(n)})
+	r.Ctx.Compute(n)
+}
+
+func (r recorder) Load(a mem.Addr) mem.Word {
+	*r.ops = append(*r.ops, Op{Kind: OpLoad, Addr: a})
+	return r.Ctx.Load(a)
+}
+
+func (r recorder) Store(a mem.Addr, w mem.Word) {
+	*r.ops = append(*r.ops, Op{Kind: OpStore, Addr: a, Val: w})
+	r.Ctx.Store(a, w)
+}
+
+func (r recorder) LoadBytes(a mem.Addr, n int) []byte {
+	*r.ops = append(*r.ops, Op{Kind: OpLoadBytes, Addr: a, N: n})
+	return r.Ctx.LoadBytes(a, n)
+}
+
+func (r recorder) StoreBytes(a mem.Addr, b []byte) {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	*r.ops = append(*r.ops, Op{Kind: OpStoreBytes, Addr: a, Data: cp})
+	r.Ctx.StoreBytes(a, b)
+}
+
+func (r recorder) TxBegin() {
+	*r.ops = append(*r.ops, Op{Kind: OpTxBegin})
+	r.Ctx.TxBegin()
+}
+
+func (r recorder) TxCommit() {
+	*r.ops = append(*r.ops, Op{Kind: OpTxCommit})
+	r.Ctx.TxCommit()
+}
+
+// Record runs the worker bodies on the system, capturing every operation.
+// The returned trace replays byte-identically on any machine populated
+// with the same Setup state.
+func Record(s *sim.System, workers []sim.Worker) (*Trace, error) {
+	tr := &Trace{Threads: make([][]Op, len(workers))}
+	wrapped := make([]sim.Worker, len(workers))
+	for i, w := range workers {
+		i, w := i, w
+		wrapped[i] = func(ctx sim.Ctx) {
+			w(recorder{Ctx: ctx, ops: &tr.Threads[i]})
+		}
+	}
+	if err := s.Run(wrapped); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Workers returns replay bodies, one per recorded thread.
+func (t *Trace) Workers() []sim.Worker {
+	out := make([]sim.Worker, len(t.Threads))
+	for i := range t.Threads {
+		ops := t.Threads[i]
+		out[i] = func(ctx sim.Ctx) {
+			for _, op := range ops {
+				switch op.Kind {
+				case OpCompute:
+					ctx.Compute(uint64(op.Val))
+				case OpLoad:
+					ctx.Load(op.Addr)
+				case OpStore:
+					ctx.Store(op.Addr, op.Val)
+				case OpLoadBytes:
+					ctx.LoadBytes(op.Addr, op.N)
+				case OpStoreBytes:
+					ctx.StoreBytes(op.Addr, op.Data)
+				case OpTxBegin:
+					ctx.TxBegin()
+				case OpTxCommit:
+					ctx.TxCommit()
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Ops returns the total operation count.
+func (t *Trace) Ops() int {
+	n := 0
+	for _, th := range t.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// --- serialization ---
+
+const traceMagic = 0x54464E53 // "SNFT"
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		m, err := bw.Write(scratch[:binary.PutUvarint(scratch[:], v)])
+		n += int64(m)
+		return err
+	}
+	if err := put(traceMagic); err != nil {
+		return n, err
+	}
+	if err := put(uint64(len(t.Threads))); err != nil {
+		return n, err
+	}
+	for _, ops := range t.Threads {
+		if err := put(uint64(len(ops))); err != nil {
+			return n, err
+		}
+		for _, op := range ops {
+			if err := put(uint64(op.Kind)); err != nil {
+				return n, err
+			}
+			switch op.Kind {
+			case OpCompute:
+				if err := put(uint64(op.Val)); err != nil {
+					return n, err
+				}
+			case OpLoad:
+				if err := put(uint64(op.Addr)); err != nil {
+					return n, err
+				}
+			case OpStore:
+				if err := put(uint64(op.Addr)); err != nil {
+					return n, err
+				}
+				if err := put(uint64(op.Val)); err != nil {
+					return n, err
+				}
+			case OpLoadBytes:
+				if err := put(uint64(op.Addr)); err != nil {
+					return n, err
+				}
+				if err := put(uint64(op.N)); err != nil {
+					return n, err
+				}
+			case OpStoreBytes:
+				if err := put(uint64(op.Addr)); err != nil {
+					return n, err
+				}
+				if err := put(uint64(len(op.Data))); err != nil {
+					return n, err
+				}
+				m, err := bw.Write(op.Data)
+				n += int64(m)
+				if err != nil {
+					return n, err
+				}
+			case OpTxBegin, OpTxCommit:
+			default:
+				return n, fmt.Errorf("trace: unknown op kind %d", op.Kind)
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	nThreads, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nThreads > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible thread count %d", nThreads)
+	}
+	t := &Trace{Threads: make([][]Op, nThreads)}
+	for i := range t.Threads {
+		nOps, err := get()
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]Op, 0, nOps)
+		for j := uint64(0); j < nOps; j++ {
+			kind, err := get()
+			if err != nil {
+				return nil, err
+			}
+			op := Op{Kind: OpKind(kind)}
+			switch op.Kind {
+			case OpCompute:
+				v, err := get()
+				if err != nil {
+					return nil, err
+				}
+				op.Val = mem.Word(v)
+			case OpLoad:
+				a, err := get()
+				if err != nil {
+					return nil, err
+				}
+				op.Addr = mem.Addr(a)
+			case OpStore:
+				a, err := get()
+				if err != nil {
+					return nil, err
+				}
+				v, err := get()
+				if err != nil {
+					return nil, err
+				}
+				op.Addr, op.Val = mem.Addr(a), mem.Word(v)
+			case OpLoadBytes:
+				a, err := get()
+				if err != nil {
+					return nil, err
+				}
+				n, err := get()
+				if err != nil {
+					return nil, err
+				}
+				op.Addr, op.N = mem.Addr(a), int(n)
+			case OpStoreBytes:
+				a, err := get()
+				if err != nil {
+					return nil, err
+				}
+				ln, err := get()
+				if err != nil {
+					return nil, err
+				}
+				if ln > 1<<20 {
+					return nil, fmt.Errorf("trace: implausible payload %d", ln)
+				}
+				op.Addr = mem.Addr(a)
+				op.Data = make([]byte, ln)
+				if _, err := io.ReadFull(br, op.Data); err != nil {
+					return nil, err
+				}
+			case OpTxBegin, OpTxCommit:
+			default:
+				return nil, fmt.Errorf("trace: unknown op kind %d", kind)
+			}
+			ops = append(ops, op)
+		}
+		t.Threads[i] = ops
+	}
+	return t, nil
+}

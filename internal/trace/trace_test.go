@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pmemlog/internal/bench"
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+	"pmemlog/internal/txn"
+)
+
+func testSystem(t *testing.T, mode txn.Mode, threads int) *sim.System {
+	t.Helper()
+	cfg := sim.DefaultConfig(mode, threads)
+	cfg.Caches.L1.SizeBytes = 4 << 10
+	cfg.Caches.L1.Ways = 4
+	cfg.Caches.L2.SizeBytes = 64 << 10
+	cfg.Caches.L2.Ways = 8
+	cfg.NVRAMBytes = 16 << 20
+	cfg.LogBytes = 256 << 10
+	cfg.GrowReserveBytes = 1 << 20
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func benchCfg(threads int) bench.Config {
+	return bench.Config{Elements: 256, TxnsPerThread: 40, Threads: threads, Seed: 9}
+}
+
+// recordHash sets up + records the hash workload on a fresh system.
+func recordHash(t *testing.T, mode txn.Mode, threads int) (*Trace, *sim.System, *bench.Hash) {
+	t.Helper()
+	s := testSystem(t, mode, threads)
+	h := bench.NewHash(benchCfg(threads))
+	if err := h.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	workers := make([]sim.Worker, threads)
+	for i := range workers {
+		i := i
+		workers[i] = func(ctx sim.Ctx) { h.Run(ctx, i) }
+	}
+	tr, err := Record(s, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, s, h
+}
+
+func TestRecordCapturesOps(t *testing.T) {
+	tr, s, _ := recordHash(t, txn.FWB, 2)
+	if tr.Ops() == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if len(tr.Threads) != 2 {
+		t.Fatalf("threads = %d", len(tr.Threads))
+	}
+	if s.Stats().Transactions != 80 {
+		t.Errorf("recording perturbed the run: %d txns", s.Stats().Transactions)
+	}
+	// Each thread's stream must contain balanced begin/commit pairs.
+	for i, ops := range tr.Threads {
+		depth := 0
+		for _, op := range ops {
+			switch op.Kind {
+			case OpTxBegin:
+				depth++
+			case OpTxCommit:
+				depth--
+			}
+			if depth < 0 || depth > 1 {
+				t.Fatalf("thread %d: unbalanced transactions", i)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("thread %d: unterminated transaction", i)
+		}
+	}
+}
+
+// Replaying the trace on a fresh identically-populated machine must yield
+// exactly the same cycle count and final state: the trace pins the memory
+// behaviour completely.
+func TestReplayIsDeterministic(t *testing.T) {
+	tr, s1, _ := recordHash(t, txn.FWB, 2)
+
+	s2 := testSystem(t, txn.FWB, 2)
+	h2 := bench.NewHash(benchCfg(2))
+	if err := h2.Setup(s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(tr.Workers()); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := s1.Stats(), s2.Stats()
+	if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
+		t.Errorf("replay diverged: (%d,%d) vs (%d,%d)",
+			r1.Cycles, r1.Instructions, r2.Cycles, r2.Instructions)
+	}
+	if r1.NVRAMWriteBytes != r2.NVRAMWriteBytes {
+		t.Errorf("replay traffic diverged: %d vs %d", r1.NVRAMWriteBytes, r2.NVRAMWriteBytes)
+	}
+}
+
+// A trace recorded under one design can drive any other design: the
+// visible final state must match (the cross-design sweep use case).
+func TestReplayAcrossModes(t *testing.T) {
+	tr, s1, _ := recordHash(t, txn.NonPers, 1)
+
+	for _, mode := range []txn.Mode{txn.SWUndoClwb, txn.FWB} {
+		s2 := testSystem(t, mode, 1)
+		h2 := bench.NewHash(benchCfg(1))
+		if err := h2.Setup(s2); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Run(tr.Workers()); err != nil {
+			t.Fatalf("%s replay: %v", mode, err)
+		}
+		// Compare a sample of visible words via fresh loads.
+		var w1, w2 mem.Word
+		probe := func(s *sim.System, out *mem.Word) sim.Worker {
+			return func(ctx sim.Ctx) {
+				var acc mem.Word
+				base := s.Heap().Base()
+				for off := 0; off < 4096; off += 8 {
+					acc ^= ctx.Load(base + mem.Addr(off))
+				}
+				*out = acc
+			}
+		}
+		if err := s1.Run([]sim.Worker{probe(s1, &w1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.Run([]sim.Worker{probe(s2, &w2)}); err != nil {
+			t.Fatal(err)
+		}
+		if w1 != w2 {
+			t.Errorf("%s: replayed state diverges from recording", mode)
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr, _, _ := recordHash(t, txn.FWB, 2)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ops() != tr.Ops() || len(got.Threads) != len(tr.Threads) {
+		t.Fatalf("round trip: %d ops / %d threads, want %d / %d",
+			got.Ops(), len(got.Threads), tr.Ops(), len(tr.Threads))
+	}
+	for i := range tr.Threads {
+		for j := range tr.Threads[i] {
+			a, b := tr.Threads[i][j], got.Threads[i][j]
+			if a.Kind != b.Kind || a.Addr != b.Addr || a.Val != b.Val || a.N != b.N ||
+				string(a.Data) != string(b.Data) {
+				t.Fatalf("thread %d op %d differs: %+v vs %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	tr := &Trace{Threads: [][]Op{{{Kind: OpStore, Addr: 8, Val: 1}}}}
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// CTree models WHISPER's ctree: a crit-bit (binary radix) tree keyed by
+// 64-bit integers, with insert-if-absent / remove-if-found transactions.
+//
+// NVRAM layout (one tree per thread):
+//
+//	header (line): [rootPtr]  (0 = empty)
+//	internal node: [tag=1, critBit, left, right]
+//	leaf node:     [tag=0, key, value]
+//
+// Crit-bit trees branch on the highest bit position where keys differ;
+// internal nodes store that bit index.
+type CTree struct {
+	cfg   Config
+	sys   *sim.System
+	roots []mem.Addr
+}
+
+// NewCTree builds the kernel.
+func NewCTree(cfg Config) *CTree { return &CTree{cfg: cfg} }
+
+// Name implements Workload.
+func (c *CTree) Name() string { return "ctree" }
+
+const (
+	ctTag   = 0
+	ctBit   = 1 // internal: crit-bit index; leaf: key
+	ctLeft  = 2 // internal: left child; leaf: value
+	ctRight = 3
+)
+
+const ctNodeBytes = 4 * mem.WordSize
+
+// Setup implements Workload: populates every other key.
+func (c *CTree) Setup(s *sim.System) error {
+	c.sys = s
+	c.roots = make([]mem.Addr, c.cfg.Threads)
+	for t := 0; t < c.cfg.Threads; t++ {
+		hdr, err := s.Heap().AllocLine(mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("ctree: %w", err)
+		}
+		s.Poke(hdr, 0)
+		c.roots[t] = hdr
+	}
+	setup := s.SetupCtx()
+	per := uint64(c.cfg.Records) / uint64(c.cfg.Threads)
+	for t := 0; t < c.cfg.Threads; t++ {
+		base := uint64(t) * per
+		for k := base; k < base+per; k += 2 {
+			c.InsertOrRemove(setup, t, k)
+		}
+	}
+	return nil
+}
+
+type ct struct {
+	c       *CTree
+	ctx     sim.Ctx
+	rootPtr mem.Addr
+}
+
+func (t *ct) load(n mem.Addr, f int) mem.Word { return t.ctx.Load(n + mem.Addr(f*mem.WordSize)) }
+func (t *ct) store(n mem.Addr, f int, w mem.Word) {
+	t.ctx.Store(n+mem.Addr(f*mem.WordSize), w)
+}
+
+func (t *ct) isLeaf(n mem.Addr) bool { return t.load(n, ctTag) == 0 }
+
+// walk descends to the leaf a key would reach.
+func (t *ct) walk(key uint64) (leaf mem.Addr, parentLink mem.Addr) {
+	parentLink = t.rootPtr
+	n := mem.Addr(t.ctx.Load(parentLink))
+	for n != 0 && !t.isLeaf(n) {
+		bit := uint(t.load(n, ctBit))
+		t.ctx.Compute(4)
+		if key&(1<<bit) == 0 {
+			parentLink = n + ctLeft*mem.WordSize
+		} else {
+			parentLink = n + ctRight*mem.WordSize
+		}
+		n = mem.Addr(t.ctx.Load(parentLink))
+	}
+	return n, parentLink
+}
+
+// InsertOrRemove is the kernel transaction.
+func (c *CTree) InsertOrRemove(ctx sim.Ctx, thread int, key uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	t := &ct{c: c, ctx: ctx, rootPtr: c.roots[thread]}
+
+	leaf, link := t.walk(key)
+	if leaf != 0 && uint64(t.load(leaf, ctBit)) == key {
+		c.remove(t, key)
+		return false
+	}
+	// Insert: new leaf; if the tree is non-empty, splice an internal node
+	// at the topmost position where the crit bit orders correctly.
+	nl, err := c.sys.Heap().Alloc(ctNodeBytes)
+	if err != nil {
+		panic(fmt.Sprintf("ctree: %v", err))
+	}
+	t.store(nl, ctTag, 0)
+	t.store(nl, ctBit, mem.Word(key)) // leaf key
+	t.store(nl, ctLeft, mem.Word(key*0x9e3779b97f4a7c15))
+	if leaf == 0 {
+		t.ctx.Store(link, mem.Word(nl))
+		return true
+	}
+	other := uint64(t.load(leaf, ctBit))
+	diff := key ^ other
+	bit := uint(63)
+	for diff&(1<<bit) == 0 {
+		bit--
+		t.ctx.Compute(1)
+	}
+	// Re-walk from the root, stopping where this crit bit belongs (crit-bit
+	// trees keep bit indexes decreasing along every path).
+	parentLink := t.rootPtr
+	n := mem.Addr(t.ctx.Load(parentLink))
+	for n != 0 && !t.isLeaf(n) && uint(t.load(n, ctBit)) > bit {
+		b := uint(t.load(n, ctBit))
+		t.ctx.Compute(4)
+		if key&(1<<b) == 0 {
+			parentLink = n + ctLeft*mem.WordSize
+		} else {
+			parentLink = n + ctRight*mem.WordSize
+		}
+		n = mem.Addr(t.ctx.Load(parentLink))
+	}
+	in, err := c.sys.Heap().Alloc(ctNodeBytes)
+	if err != nil {
+		panic(fmt.Sprintf("ctree: %v", err))
+	}
+	t.store(in, ctTag, 1)
+	t.store(in, ctBit, mem.Word(bit))
+	if key&(1<<bit) == 0 {
+		t.store(in, ctLeft, mem.Word(nl))
+		t.store(in, ctRight, mem.Word(n))
+	} else {
+		t.store(in, ctLeft, mem.Word(n))
+		t.store(in, ctRight, mem.Word(nl))
+	}
+	t.ctx.Store(parentLink, mem.Word(in))
+	return true
+}
+
+// remove deletes key's leaf, collapsing its parent internal node.
+func (c *CTree) remove(t *ct, key uint64) {
+	// Walk with grandparent tracking.
+	var parent mem.Addr
+	parentLink := t.rootPtr
+	var grandLink mem.Addr
+	n := mem.Addr(t.ctx.Load(parentLink))
+	for !t.isLeaf(n) {
+		bit := uint(t.load(n, ctBit))
+		t.ctx.Compute(4)
+		grandLink = parentLink
+		parent = n
+		if key&(1<<bit) == 0 {
+			parentLink = n + ctLeft*mem.WordSize
+		} else {
+			parentLink = n + ctRight*mem.WordSize
+		}
+		n = mem.Addr(t.ctx.Load(parentLink))
+	}
+	if parent == 0 {
+		// Leaf was the root.
+		t.ctx.Store(t.rootPtr, 0)
+	} else {
+		// Replace parent with the sibling subtree.
+		var sibling mem.Word
+		if parentLink == parent+ctLeft*mem.WordSize {
+			sibling = t.load(parent, ctRight)
+		} else {
+			sibling = t.load(parent, ctLeft)
+		}
+		t.ctx.Store(grandLink, sibling)
+		c.sys.Heap().Free(parent, ctNodeBytes)
+	}
+	c.sys.Heap().Free(n, ctNodeBytes)
+}
+
+// Contains reports membership (verification helper).
+func (c *CTree) Contains(ctx sim.Ctx, thread int, key uint64) bool {
+	t := &ct{c: c, ctx: ctx, rootPtr: c.roots[thread]}
+	leaf, _ := t.walk(key)
+	return leaf != 0 && uint64(t.load(leaf, ctBit)) == key
+}
+
+// Run implements Workload.
+func (c *CTree) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(c.cfg.Seed, thread)
+	per := uint64(c.cfg.Records) / uint64(c.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < c.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		c.InsertOrRemove(ctx, thread, key)
+		ctx.Compute(18)
+	}
+}

@@ -1,0 +1,103 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// Echo models WHISPER's echo: a persistent, scalable key-value store whose
+// core transaction appends a message record to a per-thread durable queue
+// and updates an index slot pointing at the latest record for the key.
+//
+// NVRAM layout per thread:
+//
+//	queue header (line): [head index]
+//	queue: capacity records of recWords words
+//	index: Records/Threads slots, each the queue index of the key's record
+const echoRecWords = 8 // 64 B message record
+
+type Echo struct {
+	cfg     Config
+	sys     *sim.System
+	headers []mem.Addr
+	queues  []mem.Addr
+	indexes []mem.Addr
+	qcap    int
+}
+
+// NewEcho builds the kernel.
+func NewEcho(cfg Config) *Echo { return &Echo{cfg: cfg, qcap: 4096} }
+
+// Name implements Workload.
+func (e *Echo) Name() string { return "echo" }
+
+// Setup implements Workload.
+func (e *Echo) Setup(s *sim.System) error {
+	e.sys = s
+	per := e.cfg.Records / e.cfg.Threads
+	for t := 0; t < e.cfg.Threads; t++ {
+		hdr, err := s.Heap().AllocLine(mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("echo: %w", err)
+		}
+		q, err := s.Heap().AllocLine(uint64(e.qcap * echoRecWords * mem.WordSize))
+		if err != nil {
+			return fmt.Errorf("echo: %w", err)
+		}
+		idx, err := s.Heap().AllocLine(uint64(per * mem.WordSize))
+		if err != nil {
+			return fmt.Errorf("echo: %w", err)
+		}
+		s.Poke(hdr, 0)
+		for i := 0; i < per; i++ {
+			s.Poke(idx+mem.Addr(i*mem.WordSize), mem.Word(^uint64(0)))
+		}
+		e.headers = append(e.headers, hdr)
+		e.queues = append(e.queues, q)
+		e.indexes = append(e.indexes, idx)
+	}
+	return nil
+}
+
+// Put is the append+index transaction.
+func (e *Echo) Put(ctx sim.Ctx, thread int, key uint64) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	hdr := e.headers[thread]
+	head := uint64(ctx.Load(hdr))
+	slot := head % uint64(e.qcap)
+	rec := e.queues[thread] + mem.Addr(slot*echoRecWords*mem.WordSize)
+	fill(ctx, rec, echoRecWords, key^head)
+	per := uint64(e.cfg.Records / e.cfg.Threads)
+	ctx.Store(e.indexes[thread]+mem.Addr((key%per)*mem.WordSize), mem.Word(slot))
+	ctx.Store(hdr, mem.Word(head+1))
+}
+
+// Get reads the latest record for key (no writes).
+func (e *Echo) Get(ctx sim.Ctx, thread int, key uint64) mem.Word {
+	per := uint64(e.cfg.Records / e.cfg.Threads)
+	slot := uint64(ctx.Load(e.indexes[thread] + mem.Addr((key%per)*mem.WordSize)))
+	if slot == ^uint64(0) {
+		return 0
+	}
+	rec := e.queues[thread] + mem.Addr(slot*echoRecWords*mem.WordSize)
+	return ctx.Load(rec)
+}
+
+// Run implements Workload: 80% puts, 20% gets (echo is append-heavy).
+func (e *Echo) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(e.cfg.Seed, thread)
+	per := uint64(e.cfg.Records / e.cfg.Threads)
+	for i := 0; i < e.cfg.TxnsPerThread; i++ {
+		key := uint64(rng.Int63()) % per
+		if rng.Intn(10) < 8 {
+			e.Put(ctx, thread, key)
+		} else {
+			e.Get(ctx, thread, key)
+			ctx.Compute(10)
+		}
+		ctx.Compute(15)
+	}
+}

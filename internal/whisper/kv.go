@@ -1,0 +1,227 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// kvStore is a chained hash map over NVRAM shared by the hashmap, redis,
+// and ycsb kernels (their data structure is the same; the transaction
+// mixes differ).
+//
+// NVRAM layout (per thread partition):
+//
+//	buckets: nBuckets head pointers
+//	node: [key, next, value[0..valueWords)]
+type kvStore struct {
+	sys        *sim.System
+	buckets    mem.Addr
+	nBuckets   int
+	keySpace   uint64
+	valueWords int
+}
+
+const (
+	kvKey  = 0
+	kvNext = 1
+	kvVal  = 2
+)
+
+func (kv *kvStore) nodeBytes() uint64 {
+	return uint64((2 + kv.valueWords) * mem.WordSize)
+}
+
+func newKVStore(s *sim.System, keySpace uint64, valueWords int) (*kvStore, error) {
+	n := int(keySpace / 2)
+	if n < 16 {
+		n = 16
+	}
+	b, err := s.Heap().AllocLine(uint64(n * mem.WordSize))
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+	}
+	return &kvStore{sys: s, buckets: b, nBuckets: n, keySpace: keySpace, valueWords: valueWords}, nil
+}
+
+// bucketOf range-partitions keys (see bench.Hash for why).
+func (kv *kvStore) bucketOf(key uint64) mem.Addr {
+	idx := key * uint64(kv.nBuckets) / kv.keySpace
+	if idx >= uint64(kv.nBuckets) {
+		idx = uint64(kv.nBuckets) - 1
+	}
+	return kv.buckets + mem.Addr(idx*mem.WordSize)
+}
+
+// lookup returns (node, link-to-node) or (0, bucket).
+func (kv *kvStore) lookup(ctx sim.Ctx, key uint64) (mem.Addr, mem.Addr) {
+	link := kv.bucketOf(key)
+	cur := mem.Addr(ctx.Load(link))
+	for cur != 0 {
+		k := ctx.Load(cur + kvKey*mem.WordSize)
+		ctx.Compute(4)
+		if uint64(k) == key {
+			return cur, link
+		}
+		link = cur + kvNext*mem.WordSize
+		cur = mem.Addr(ctx.Load(link))
+	}
+	return 0, link
+}
+
+// set inserts or updates key's value inside the caller's transaction.
+func (kv *kvStore) set(ctx sim.Ctx, key, tag uint64) {
+	node, _ := kv.lookup(ctx, key)
+	if node != 0 {
+		fill(ctx, node+kvVal*mem.WordSize, kv.valueWords, tag)
+		return
+	}
+	n, err := kv.sys.Heap().Alloc(kv.nodeBytes())
+	if err != nil {
+		panic(fmt.Sprintf("kv: %v", err))
+	}
+	bkt := kv.bucketOf(key)
+	head := ctx.Load(bkt)
+	ctx.Store(n+kvKey*mem.WordSize, mem.Word(key))
+	ctx.Store(n+kvNext*mem.WordSize, head)
+	fill(ctx, n+kvVal*mem.WordSize, kv.valueWords, tag)
+	ctx.Store(bkt, mem.Word(n))
+}
+
+// get reads key's first value word (0 if absent).
+func (kv *kvStore) get(ctx sim.Ctx, key uint64) (mem.Word, bool) {
+	node, _ := kv.lookup(ctx, key)
+	if node == 0 {
+		return 0, false
+	}
+	var v mem.Word
+	for i := 0; i < kv.valueWords; i++ {
+		v = ctx.Load(node + mem.Addr((kvVal+i)*mem.WordSize))
+		ctx.Compute(2)
+	}
+	return v, true
+}
+
+// del removes key, reporting whether it existed.
+func (kv *kvStore) del(ctx sim.Ctx, key uint64) bool {
+	node, link := kv.lookup(ctx, key)
+	if node == 0 {
+		return false
+	}
+	next := ctx.Load(node + kvNext*mem.WordSize)
+	ctx.Store(link, next)
+	kv.sys.Heap().Free(node, kv.nodeBytes())
+	return true
+}
+
+// populate pre-inserts every other key (untimed).
+func (kv *kvStore) populate(s *sim.System) {
+	setup := s.SetupCtx()
+	for k := uint64(0); k < kv.keySpace; k += 2 {
+		kv.set(setup, k, k)
+	}
+}
+
+// --- hashmap kernel: update-heavy map operations ---
+
+// Hashmap models WHISPER's hashmap: 70% updates (set), 20% lookups, 10%
+// deletes over a chained hash map.
+type Hashmap struct {
+	cfg Config
+	kv  *kvStore
+}
+
+// NewHashmap builds the kernel.
+func NewHashmap(cfg Config) *Hashmap { return &Hashmap{cfg: cfg} }
+
+// Name implements Workload.
+func (h *Hashmap) Name() string { return "hashmap" }
+
+// Setup implements Workload.
+func (h *Hashmap) Setup(s *sim.System) error {
+	kv, err := newKVStore(s, uint64(h.cfg.Records), 2)
+	if err != nil {
+		return err
+	}
+	h.kv = kv
+	kv.populate(s)
+	return nil
+}
+
+// Get is a verification helper.
+func (h *Hashmap) Get(ctx sim.Ctx, key uint64) (mem.Word, bool) { return h.kv.get(ctx, key) }
+
+// Run implements Workload.
+func (h *Hashmap) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(h.cfg.Seed, thread)
+	per := uint64(h.cfg.Records) / uint64(h.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < h.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		ctx.TxBegin()
+		switch r := rng.Intn(10); {
+		case r < 7:
+			h.kv.set(ctx, key, key+uint64(i))
+		case r < 9:
+			h.kv.get(ctx, key)
+		default:
+			h.kv.del(ctx, key)
+		}
+		ctx.TxCommit()
+		ctx.Compute(15)
+	}
+}
+
+// --- redis kernel: GET/SET/DEL over string values ---
+
+// Redis models WHISPER's redis: a key-value server with 64 B string
+// values, 60% SET / 30% GET / 10% DEL (the suite's write-heavy server).
+type Redis struct {
+	cfg Config
+	kv  *kvStore
+}
+
+// NewRedis builds the kernel.
+func NewRedis(cfg Config) *Redis { return &Redis{cfg: cfg} }
+
+// Name implements Workload.
+func (r *Redis) Name() string { return "redis" }
+
+// Setup implements Workload.
+func (r *Redis) Setup(s *sim.System) error {
+	kv, err := newKVStore(s, uint64(r.cfg.Records), 8) // 64 B values
+	if err != nil {
+		return err
+	}
+	r.kv = kv
+	kv.populate(s)
+	return nil
+}
+
+// Get is a verification helper.
+func (r *Redis) Get(ctx sim.Ctx, key uint64) (mem.Word, bool) { return r.kv.get(ctx, key) }
+
+// Run implements Workload.
+func (r *Redis) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(r.cfg.Seed, thread)
+	per := uint64(r.cfg.Records) / uint64(r.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < r.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		ctx.TxBegin()
+		switch q := rng.Intn(10); {
+		case q < 6:
+			r.kv.set(ctx, key, key^uint64(i))
+		case q < 9:
+			r.kv.get(ctx, key)
+		default:
+			r.kv.del(ctx, key)
+		}
+		ctx.TxCommit()
+		ctx.Compute(25) // protocol parsing / dispatch
+	}
+}

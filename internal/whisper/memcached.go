@@ -1,0 +1,252 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// Memcached models WHISPER's memcached: a bounded key-value cache with a
+// hash index and an LRU list. Its signature persistent-memory behaviour is
+// that even GETs write: a hit splices the item to the LRU head (several
+// pointer stores inside a transaction), and a SET over capacity evicts the
+// LRU tail. One cache partition per thread.
+//
+// NVRAM layout per partition:
+//
+//	header (line): [lruHead, lruTail, count]
+//	buckets: nBuckets words
+//	item: [key, hnext, lprev, lnext, value x 4]  (8 words)
+type Memcached struct {
+	cfg      Config
+	sys      *sim.System
+	headers  []mem.Addr
+	buckets  []mem.Addr
+	nBuckets int
+	capacity int // max items per partition
+}
+
+// NewMemcached builds the kernel. Records is the key space per partition;
+// the cache holds half of it, so misses and evictions are routine.
+func NewMemcached(cfg Config) *Memcached {
+	return &Memcached{cfg: cfg}
+}
+
+// Name implements Workload.
+func (m *Memcached) Name() string { return "memcached" }
+
+const (
+	mcKey   = 0
+	mcHNext = 1
+	mcLPrev = 2
+	mcLNext = 3
+	mcVal   = 4
+
+	mcItemWords = 8
+
+	mcHead  = 0
+	mcTail  = 1
+	mcCount = 2
+)
+
+func mcItemBytes() uint64 { return mcItemWords * mem.WordSize }
+
+// Setup implements Workload.
+func (m *Memcached) Setup(s *sim.System) error {
+	m.sys = s
+	per := m.cfg.Records / m.cfg.Threads
+	m.capacity = per / 2
+	if m.capacity < 4 {
+		m.capacity = 4
+	}
+	m.nBuckets = per / 2
+	if m.nBuckets < 16 {
+		m.nBuckets = 16
+	}
+	for t := 0; t < m.cfg.Threads; t++ {
+		hdr, err := s.Heap().AllocLine(3 * mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("memcached: %w", err)
+		}
+		bkt, err := s.Heap().AllocLine(uint64(m.nBuckets * mem.WordSize))
+		if err != nil {
+			return fmt.Errorf("memcached: %w", err)
+		}
+		s.Poke(hdr+mcHead*mem.WordSize, 0)
+		s.Poke(hdr+mcTail*mem.WordSize, 0)
+		s.Poke(hdr+mcCount*mem.WordSize, 0)
+		for i := 0; i < m.nBuckets; i++ {
+			s.Poke(bkt+mem.Addr(i*mem.WordSize), 0)
+		}
+		m.headers = append(m.headers, hdr)
+		m.buckets = append(m.buckets, bkt)
+	}
+	// Warm the cache to capacity through the normal SET path.
+	setup := s.SetupCtx()
+	for t := 0; t < m.cfg.Threads; t++ {
+		base := uint64(t) * uint64(per)
+		for k := 0; k < m.capacity; k++ {
+			m.Set(setup, t, base+uint64(k), uint64(k))
+		}
+	}
+	return nil
+}
+
+type mcPart struct {
+	m      *Memcached
+	ctx    sim.Ctx
+	hdr    mem.Addr
+	bkt    mem.Addr
+	thread int
+}
+
+func (m *Memcached) part(ctx sim.Ctx, thread int) *mcPart {
+	return &mcPart{m: m, ctx: ctx, hdr: m.headers[thread], bkt: m.buckets[thread], thread: thread}
+}
+
+func (p *mcPart) field(item mem.Addr, f int) mem.Word {
+	return p.ctx.Load(item + mem.Addr(f*mem.WordSize))
+}
+func (p *mcPart) setField(item mem.Addr, f int, v mem.Word) {
+	p.ctx.Store(item+mem.Addr(f*mem.WordSize), v)
+}
+func (p *mcPart) hd(f int) mem.Word       { return p.ctx.Load(p.hdr + mem.Addr(f*mem.WordSize)) }
+func (p *mcPart) setHd(f int, v mem.Word) { p.ctx.Store(p.hdr+mem.Addr(f*mem.WordSize), v) }
+func (p *mcPart) bucketOf(key uint64) mem.Addr {
+	per := uint64(p.m.cfg.Records / p.m.cfg.Threads)
+	idx := (key % per) * uint64(p.m.nBuckets) / per
+	if idx >= uint64(p.m.nBuckets) {
+		idx = uint64(p.m.nBuckets) - 1
+	}
+	return p.bkt + mem.Addr(idx*mem.WordSize)
+}
+
+// lookup returns (item, hash-link-to-item).
+func (p *mcPart) lookup(key uint64) (mem.Addr, mem.Addr) {
+	link := p.bucketOf(key)
+	cur := mem.Addr(p.ctx.Load(link))
+	for cur != 0 {
+		p.ctx.Compute(4)
+		if uint64(p.field(cur, mcKey)) == key {
+			return cur, link
+		}
+		link = cur + mcHNext*mem.WordSize
+		cur = mem.Addr(p.ctx.Load(link))
+	}
+	return 0, link
+}
+
+// lruUnlink removes item from the LRU list.
+func (p *mcPart) lruUnlink(item mem.Addr) {
+	prev := mem.Addr(p.field(item, mcLPrev))
+	next := mem.Addr(p.field(item, mcLNext))
+	if prev != 0 {
+		p.setField(prev, mcLNext, mem.Word(next))
+	} else {
+		p.setHd(mcHead, mem.Word(next))
+	}
+	if next != 0 {
+		p.setField(next, mcLPrev, mem.Word(prev))
+	} else {
+		p.setHd(mcTail, mem.Word(prev))
+	}
+}
+
+// lruPushHead makes item the most recently used.
+func (p *mcPart) lruPushHead(item mem.Addr) {
+	head := mem.Addr(p.hd(mcHead))
+	p.setField(item, mcLPrev, 0)
+	p.setField(item, mcLNext, mem.Word(head))
+	if head != 0 {
+		p.setField(head, mcLPrev, mem.Word(item))
+	}
+	p.setHd(mcHead, mem.Word(item))
+	if p.hd(mcTail) == 0 {
+		p.setHd(mcTail, mem.Word(item))
+	}
+}
+
+// Get looks key up; on a hit the item is moved to the LRU head (the
+// cache's write-on-read behaviour). Returns the first value word.
+func (m *Memcached) Get(ctx sim.Ctx, thread int, key uint64) (mem.Word, bool) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	p := m.part(ctx, thread)
+	item, _ := p.lookup(key)
+	if item == 0 {
+		return 0, false
+	}
+	if mem.Addr(p.hd(mcHead)) != item {
+		p.lruUnlink(item)
+		p.lruPushHead(item)
+	}
+	return p.field(item, mcVal), true
+}
+
+// Set inserts or updates key; over capacity it evicts the LRU tail.
+func (m *Memcached) Set(ctx sim.Ctx, thread int, key, tag uint64) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	p := m.part(ctx, thread)
+
+	if item, _ := p.lookup(key); item != 0 {
+		fill(ctx, item+mcVal*mem.WordSize, 4, tag)
+		if mem.Addr(p.hd(mcHead)) != item {
+			p.lruUnlink(item)
+			p.lruPushHead(item)
+		}
+		return
+	}
+
+	// Evict the tail if at capacity.
+	count := int(p.hd(mcCount))
+	if count >= m.capacity {
+		tail := mem.Addr(p.hd(mcTail))
+		if tail != 0 {
+			p.lruUnlink(tail)
+			// Unlink from its hash chain: lookup returns the address of
+			// the pointer referring to the item.
+			if item, link := p.lookup(uint64(p.field(tail, mcKey))); item != 0 {
+				p.ctx.Store(link, p.field(item, mcHNext))
+			}
+			m.sys.Heap().Free(tail, mcItemBytes())
+			count--
+		}
+	}
+
+	item, err := m.sys.Heap().Alloc(mcItemBytes())
+	if err != nil {
+		panic(fmt.Sprintf("memcached: %v", err))
+	}
+	bkt := p.bucketOf(key)
+	head := ctx.Load(bkt)
+	p.setField(item, mcKey, mem.Word(key))
+	p.setField(item, mcHNext, head)
+	fill(ctx, item+mcVal*mem.WordSize, 4, tag)
+	ctx.Store(bkt, mem.Word(item))
+	p.lruPushHead(item)
+	p.setHd(mcCount, mem.Word(count+1))
+}
+
+// Count returns the partition's item count (verification helper).
+func (m *Memcached) Count(ctx sim.Ctx, thread int) int {
+	return int(ctx.Load(m.headers[thread] + mcCount*mem.WordSize))
+}
+
+// Run implements Workload: 80% GET / 20% SET over a zipf-less uniform mix
+// (memcached's hot keys come from the LRU itself).
+func (m *Memcached) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(m.cfg.Seed, thread)
+	per := uint64(m.cfg.Records / m.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < m.cfg.TxnsPerThread; i++ {
+		key := base + uint64(rng.Int63())%per
+		if rng.Intn(10) < 8 {
+			m.Get(ctx, thread, key)
+		} else {
+			m.Set(ctx, thread, key, uint64(i))
+		}
+		ctx.Compute(20)
+	}
+}

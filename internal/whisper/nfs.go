@@ -1,0 +1,195 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// NFS models WHISPER's nfs: a filesystem-metadata server whose persistent
+// transactions create, append to, and unlink files — inode initialization,
+// directory-entry insertion/removal, and size/mtime/block-map updates.
+// One directory tree per thread.
+//
+// NVRAM layout per partition:
+//
+//	dir buckets: nBuckets words (dentry chain heads)
+//	dentry: [nameHash, inode, next]                 (3 words)
+//	inode (line aligned): [mode, size, mtime, nlink, blocks x 4]
+const (
+	nfsInodeWords  = 8
+	nfsDentryWords = 3
+
+	inoMode  = 0
+	inoSize  = 1
+	inoMtime = 2
+	inoNlink = 3
+	inoBlock = 4
+)
+
+type NFS struct {
+	cfg      Config
+	sys      *sim.System
+	buckets  []mem.Addr
+	nBuckets int
+}
+
+// NewNFS builds the kernel. Records is the name space per partition.
+func NewNFS(cfg Config) *NFS { return &NFS{cfg: cfg} }
+
+// Name implements Workload.
+func (n *NFS) Name() string { return "nfs" }
+
+// Setup implements Workload.
+func (n *NFS) Setup(s *sim.System) error {
+	n.sys = s
+	per := n.cfg.Records / n.cfg.Threads
+	n.nBuckets = per / 2
+	if n.nBuckets < 16 {
+		n.nBuckets = 16
+	}
+	for t := 0; t < n.cfg.Threads; t++ {
+		b, err := s.Heap().AllocLine(uint64(n.nBuckets * mem.WordSize))
+		if err != nil {
+			return fmt.Errorf("nfs: %w", err)
+		}
+		for i := 0; i < n.nBuckets; i++ {
+			s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+		}
+		n.buckets = append(n.buckets, b)
+	}
+	// Pre-create half the namespace.
+	setup := s.SetupCtx()
+	for t := 0; t < n.cfg.Threads; t++ {
+		base := uint64(t) * uint64(per)
+		for k := base; k < base+uint64(per); k += 2 {
+			n.Create(setup, t, k, 0)
+		}
+	}
+	return nil
+}
+
+func (n *NFS) bucketOf(thread int, name uint64) mem.Addr {
+	per := uint64(n.cfg.Records / n.cfg.Threads)
+	idx := (name % per) * uint64(n.nBuckets) / per
+	if idx >= uint64(n.nBuckets) {
+		idx = uint64(n.nBuckets) - 1
+	}
+	return n.buckets[thread] + mem.Addr(idx*mem.WordSize)
+}
+
+// lookup returns (dentry, link-to-dentry) for a name.
+func (n *NFS) lookup(ctx sim.Ctx, thread int, name uint64) (mem.Addr, mem.Addr) {
+	link := n.bucketOf(thread, name)
+	cur := mem.Addr(ctx.Load(link))
+	for cur != 0 {
+		ctx.Compute(4)
+		if uint64(ctx.Load(cur)) == name {
+			return cur, link
+		}
+		link = cur + 2*mem.WordSize
+		cur = mem.Addr(ctx.Load(link))
+	}
+	return 0, link
+}
+
+// Create allocates and initializes an inode and links a dentry — a no-op
+// if the name exists. Returns true if it created.
+func (n *NFS) Create(ctx sim.Ctx, thread int, name, mtime uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	if d, _ := n.lookup(ctx, thread, name); d != 0 {
+		return false
+	}
+	ino, err := n.sys.Heap().AllocLine(nfsInodeWords * mem.WordSize)
+	if err != nil {
+		panic(fmt.Sprintf("nfs: %v", err))
+	}
+	ctx.Store(ino+inoMode*mem.WordSize, 0o644)
+	ctx.Store(ino+inoSize*mem.WordSize, 0)
+	ctx.Store(ino+inoMtime*mem.WordSize, mem.Word(mtime))
+	ctx.Store(ino+inoNlink*mem.WordSize, 1)
+	for b := 0; b < 4; b++ {
+		ctx.Store(ino+mem.Addr((inoBlock+b)*mem.WordSize), 0)
+	}
+	dent, err := n.sys.Heap().Alloc(nfsDentryWords * mem.WordSize)
+	if err != nil {
+		panic(fmt.Sprintf("nfs: %v", err))
+	}
+	bkt := n.bucketOf(thread, name)
+	head := ctx.Load(bkt)
+	ctx.Store(dent, mem.Word(name))
+	ctx.Store(dent+mem.WordSize, mem.Word(ino))
+	ctx.Store(dent+2*mem.WordSize, head)
+	ctx.Store(bkt, mem.Word(dent))
+	return true
+}
+
+// Append grows a file: bump size, stamp mtime, record a block pointer.
+func (n *NFS) Append(ctx sim.Ctx, thread int, name, mtime, blockPtr uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	d, _ := n.lookup(ctx, thread, name)
+	if d == 0 {
+		return false
+	}
+	ino := mem.Addr(ctx.Load(d + mem.WordSize))
+	size := ctx.Load(ino + inoSize*mem.WordSize)
+	ctx.Compute(10) // block math
+	ctx.Store(ino+inoSize*mem.WordSize, size+4096)
+	ctx.Store(ino+inoMtime*mem.WordSize, mem.Word(mtime))
+	slot := uint64(size/4096) % 4
+	ctx.Store(ino+mem.Addr((inoBlock+slot)*mem.WordSize), mem.Word(blockPtr))
+	return true
+}
+
+// Unlink removes the dentry and frees the inode.
+func (n *NFS) Unlink(ctx sim.Ctx, thread int, name uint64) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	d, link := n.lookup(ctx, thread, name)
+	if d == 0 {
+		return false
+	}
+	ino := mem.Addr(ctx.Load(d + mem.WordSize))
+	nlink := ctx.Load(ino + inoNlink*mem.WordSize)
+	ctx.Store(ino+inoNlink*mem.WordSize, nlink-1)
+	next := ctx.Load(d + 2*mem.WordSize)
+	ctx.Store(link, next)
+	n.sys.Heap().Free(d, nfsDentryWords*mem.WordSize)
+	n.sys.Heap().Free(ino, nfsInodeWords*mem.WordSize)
+	return true
+}
+
+// Stat reads an inode (verification helper). Returns size, ok.
+func (n *NFS) Stat(ctx sim.Ctx, thread int, name uint64) (mem.Word, bool) {
+	d, _ := n.lookup(ctx, thread, name)
+	if d == 0 {
+		return 0, false
+	}
+	ino := mem.Addr(ctx.Load(d + mem.WordSize))
+	return ctx.Load(ino + inoSize*mem.WordSize), true
+}
+
+// Run implements Workload: 50% appends, 25% creates, 25% unlinks — the
+// metadata-update-heavy mix of an NFS server under write load.
+func (n *NFS) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(n.cfg.Seed, thread)
+	per := uint64(n.cfg.Records / n.cfg.Threads)
+	base := uint64(thread) * per
+	for i := 0; i < n.cfg.TxnsPerThread; i++ {
+		name := base + uint64(rng.Int63())%per
+		switch r := rng.Intn(4); {
+		case r < 2:
+			if !n.Append(ctx, thread, name, uint64(i), uint64(rng.Int63())) {
+				n.Create(ctx, thread, name, uint64(i))
+			}
+		case r == 2:
+			n.Create(ctx, thread, name, uint64(i))
+		default:
+			n.Unlink(ctx, thread, name)
+		}
+		ctx.Compute(25) // RPC decode / attribute marshaling
+	}
+}

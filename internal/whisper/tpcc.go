@@ -1,0 +1,165 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// TPCC models WHISPER's tpcc (N-Store's TPC-C port): new-order style
+// transactions against warehouse/district/stock/order tables. One
+// warehouse per thread. Each transaction:
+//
+//	read warehouse tax, read+update district (next order id),
+//	insert an order record, and for 5..15 order lines:
+//	read stock, decrement quantity, update ytd, insert order-line.
+//
+// This is the suite's most write-intensive kernel, which is why the paper
+// sees its largest energy/traffic wins here (Fig 10).
+//
+// NVRAM layout per warehouse:
+//
+//	warehouse (line): [tax, ytd]
+//	districts: 10 x (line): [nextOID, ytd]
+//	stock:     Items x [quantity, ytd, orderCount]
+//	orders:    ring of maxOrders x [oid, did, lineCount]
+//	orderLines: ring of maxOrders*15 x [item, qty, amount]
+const (
+	tpccDistricts  = 10
+	tpccMaxOrders  = 2048
+	tpccLineWords  = 3
+	tpccOrderWords = 3
+	tpccStockWords = 3
+)
+
+type TPCC struct {
+	cfg        Config
+	sys        *sim.System
+	items      int
+	warehouses []tpccWarehouse
+}
+
+type tpccWarehouse struct {
+	base       mem.Addr // warehouse record
+	districts  mem.Addr
+	stock      mem.Addr
+	orders     mem.Addr
+	orderLines mem.Addr
+	orderHead  mem.Addr // ring cursor (one word)
+}
+
+// NewTPCC builds the kernel. Records is the stock item count per warehouse.
+func NewTPCC(cfg Config) *TPCC { return &TPCC{cfg: cfg, items: cfg.Records} }
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return "tpcc" }
+
+// Setup implements Workload.
+func (t *TPCC) Setup(s *sim.System) error {
+	t.sys = s
+	for w := 0; w < t.cfg.Threads; w++ {
+		var wh tpccWarehouse
+		var err error
+		alloc := func(n uint64) mem.Addr {
+			if err != nil {
+				return 0
+			}
+			var a mem.Addr
+			a, err = s.Heap().AllocLine(n)
+			return a
+		}
+		wh.base = alloc(2 * mem.WordSize)
+		wh.districts = alloc(tpccDistricts * mem.LineSize)
+		wh.stock = alloc(uint64(t.items * tpccStockWords * mem.WordSize))
+		wh.orders = alloc(tpccMaxOrders * tpccOrderWords * mem.WordSize)
+		wh.orderLines = alloc(tpccMaxOrders * 15 * tpccLineWords * mem.WordSize)
+		wh.orderHead = alloc(mem.WordSize)
+		if err != nil {
+			return fmt.Errorf("tpcc: %w", err)
+		}
+		s.Poke(wh.base, 7)   // tax
+		s.Poke(wh.base+8, 0) // ytd
+		for d := 0; d < tpccDistricts; d++ {
+			s.Poke(wh.districts+mem.Addr(d*mem.LineSize), 1)   // nextOID
+			s.Poke(wh.districts+mem.Addr(d*mem.LineSize)+8, 0) // ytd
+		}
+		for i := 0; i < t.items; i++ {
+			a := wh.stock + mem.Addr(i*tpccStockWords*mem.WordSize)
+			s.Poke(a, 100) // quantity
+			s.Poke(a+8, 0) // ytd
+			s.Poke(a+16, 0)
+		}
+		s.Poke(wh.orderHead, 0)
+		t.warehouses = append(t.warehouses, wh)
+	}
+	return nil
+}
+
+// NewOrder runs one new-order transaction on thread's warehouse.
+func (t *TPCC) NewOrder(ctx sim.Ctx, thread, district, nLines int, items []int) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	wh := t.warehouses[thread]
+
+	tax := ctx.Load(wh.base) // warehouse tax (read)
+	_ = tax
+	ctx.Compute(800) // customer lookup, warehouse validation, tax math
+
+	// District: read and bump next order id.
+	dAddr := wh.districts + mem.Addr(district*mem.LineSize)
+	oid := ctx.Load(dAddr)
+	ctx.Store(dAddr, oid+1)
+
+	// Order record (ring insert).
+	head := uint64(ctx.Load(wh.orderHead))
+	slot := head % tpccMaxOrders
+	oAddr := wh.orders + mem.Addr(slot*tpccOrderWords*mem.WordSize)
+	ctx.Store(oAddr, oid)
+	ctx.Store(oAddr+8, mem.Word(district))
+	ctx.Store(oAddr+16, mem.Word(nLines))
+	ctx.Store(wh.orderHead, mem.Word(head+1))
+
+	var total mem.Word
+	for l := 0; l < nLines; l++ {
+		item := items[l]
+		sAddr := wh.stock + mem.Addr(item*tpccStockWords*mem.WordSize)
+		qty := ctx.Load(sAddr)
+		ctx.Compute(900) // per-line item lookup, pricing, discount, brand-generic logic
+		if qty < 10 {
+			qty += 91
+		}
+		ctx.Store(sAddr, qty-1)
+		ytd := ctx.Load(sAddr + 8)
+		ctx.Store(sAddr+8, ytd+1)
+
+		lAddr := wh.orderLines + mem.Addr((slot*15+uint64(l))*tpccLineWords*mem.WordSize)
+		ctx.Store(lAddr, mem.Word(item))
+		ctx.Store(lAddr+8, 1)
+		amount := mem.Word(item%97 + 1)
+		ctx.Store(lAddr+16, amount)
+		total += amount
+	}
+	// Warehouse YTD.
+	ytd := ctx.Load(wh.base + 8)
+	ctx.Store(wh.base+8, ytd+total)
+}
+
+// DistrictNextOID is a verification helper.
+func (t *TPCC) DistrictNextOID(ctx sim.Ctx, thread, district int) mem.Word {
+	return ctx.Load(t.warehouses[thread].districts + mem.Addr(district*mem.LineSize))
+}
+
+// Run implements Workload.
+func (t *TPCC) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(t.cfg.Seed, thread)
+	items := make([]int, 15)
+	for i := 0; i < t.cfg.TxnsPerThread; i++ {
+		n := 5 + rng.Intn(11)
+		for l := 0; l < n; l++ {
+			items[l] = rng.Intn(t.items)
+		}
+		t.NewOrder(ctx, thread, rng.Intn(tpccDistricts), n, items)
+		ctx.Compute(3000) // terminal I/O formatting, response marshaling
+	}
+}

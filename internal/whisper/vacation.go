@@ -1,0 +1,120 @@
+package whisper
+
+import (
+	"fmt"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// Vacation models WHISPER's vacation (STAMP's travel reservation system):
+// three resource tables (cars, rooms, flights) plus customer records.
+// A transaction queries a handful of resources (reads), then reserves the
+// cheapest available one (two writes) and appends to the customer's
+// reservation list (two writes) — a read-mostly mix.
+//
+// NVRAM layout per thread partition:
+//
+//	resources: 3 tables x perThread rows of [available, price, reserved]
+//	customers: perThread x [count, items[8]]
+const (
+	vacTables        = 3
+	vacResourceWords = 3
+	vacCustWords     = 9
+)
+
+type Vacation struct {
+	cfg       Config
+	sys       *sim.System
+	resources [vacTables]mem.Addr
+	customers mem.Addr
+}
+
+// NewVacation builds the kernel. Records is rows per table.
+func NewVacation(cfg Config) *Vacation { return &Vacation{cfg: cfg} }
+
+// Name implements Workload.
+func (v *Vacation) Name() string { return "vacation" }
+
+// Setup implements Workload.
+func (v *Vacation) Setup(s *sim.System) error {
+	v.sys = s
+	for t := 0; t < vacTables; t++ {
+		a, err := s.Heap().AllocLine(uint64(v.cfg.Records * vacResourceWords * mem.WordSize))
+		if err != nil {
+			return fmt.Errorf("vacation: %w", err)
+		}
+		v.resources[t] = a
+		for r := 0; r < v.cfg.Records; r++ {
+			row := a + mem.Addr(r*vacResourceWords*mem.WordSize)
+			s.Poke(row, 100)                  // available
+			s.Poke(row+8, mem.Word(50+r%100)) // price
+			s.Poke(row+16, 0)                 // reserved
+		}
+	}
+	c, err := s.Heap().AllocLine(uint64(v.cfg.Records * vacCustWords * mem.WordSize))
+	if err != nil {
+		return fmt.Errorf("vacation: %w", err)
+	}
+	v.customers = c
+	for r := 0; r < v.cfg.Records; r++ {
+		s.Poke(c+mem.Addr(r*vacCustWords*mem.WordSize), 0)
+	}
+	return nil
+}
+
+func (v *Vacation) row(table, r int) mem.Addr {
+	return v.resources[table] + mem.Addr(r*vacResourceWords*mem.WordSize)
+}
+
+// Reserve is the kernel transaction: scan nQuery candidate rows in one
+// table for the cheapest available, reserve it, record it on the customer.
+func (v *Vacation) Reserve(ctx sim.Ctx, table, customer int, candidates []int) bool {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	best, bestPrice := -1, mem.Word(1<<62)
+	for _, r := range candidates {
+		row := v.row(table, r)
+		avail := ctx.Load(row)
+		price := ctx.Load(row + 8)
+		ctx.Compute(8)
+		if avail > 0 && price < bestPrice {
+			best, bestPrice = r, price
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	row := v.row(table, best)
+	avail := ctx.Load(row)
+	ctx.Store(row, avail-1)
+	res := ctx.Load(row + 16)
+	ctx.Store(row+16, res+1)
+
+	cust := v.customers + mem.Addr(customer*vacCustWords*mem.WordSize)
+	cnt := ctx.Load(cust)
+	slot := uint64(cnt) % 8
+	ctx.Store(cust+mem.Addr((1+slot)*mem.WordSize), mem.Word(best))
+	ctx.Store(cust, cnt+1)
+	return true
+}
+
+// CustomerCount is a verification helper.
+func (v *Vacation) CustomerCount(ctx sim.Ctx, customer int) mem.Word {
+	return ctx.Load(v.customers + mem.Addr(customer*vacCustWords*mem.WordSize))
+}
+
+// Run implements Workload.
+func (v *Vacation) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(v.cfg.Seed, thread)
+	per := v.cfg.Records / v.cfg.Threads
+	base := thread * per
+	cand := make([]int, 4)
+	for i := 0; i < v.cfg.TxnsPerThread; i++ {
+		for j := range cand {
+			cand[j] = base + rng.Intn(per)
+		}
+		v.Reserve(ctx, rng.Intn(vacTables), base+rng.Intn(per), cand)
+		ctx.Compute(25)
+	}
+}

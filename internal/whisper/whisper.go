@@ -1,0 +1,90 @@
+// Package whisper implements a WHISPER-like suite of real persistent
+// memory workloads (paper Section V: "key-value stores, in-memory
+// databases, and persistent data caching"). Nine kernels reproduce the
+// suite's transaction mixes at simulator scale:
+//
+//	echo      persistent message log + index (append-heavy)
+//	ctree     crit-bit (binary radix) tree insert/delete
+//	hashmap   chained hash map with update-heavy mix
+//	memcached bounded cache: hash index + LRU list (GETs write too)
+//	nfs       filesystem metadata: create/append/unlink transactions
+//	redis     key-value store, GET/SET/DEL mix over string values
+//	tpcc      TPC-C new-order style transactions (write-intensive)
+//	vacation  travel reservation tables (read-mostly, few writes)
+//	ycsb      zipfian 50/50 read/update over 100 B rows
+//
+// As in internal/bench, threads own disjoint partitions so transactions
+// are isolated, matching WHISPER's per-thread working sets.
+package whisper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// Config parameterizes a kernel run.
+type Config struct {
+	Records       int // table/structure size
+	TxnsPerThread int
+	Threads       int
+	Seed          int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Records <= 0 || c.TxnsPerThread <= 0 || c.Threads <= 0 {
+		return fmt.Errorf("whisper: Records, TxnsPerThread, Threads must be positive")
+	}
+	return nil
+}
+
+// Workload mirrors bench.Workload for the WHISPER kernels.
+type Workload interface {
+	Name() string
+	Setup(s *sim.System) error
+	Run(ctx sim.Ctx, thread int)
+}
+
+// registry maps kernel names to factories.
+var registry = map[string]func(Config) Workload{
+	"echo":      func(c Config) Workload { return NewEcho(c) },
+	"ctree":     func(c Config) Workload { return NewCTree(c) },
+	"hashmap":   func(c Config) Workload { return NewHashmap(c) },
+	"memcached": func(c Config) Workload { return NewMemcached(c) },
+	"nfs":       func(c Config) Workload { return NewNFS(c) },
+	"redis":     func(c Config) Workload { return NewRedis(c) },
+	"tpcc":      func(c Config) Workload { return NewTPCC(c) },
+	"vacation":  func(c Config) Workload { return NewVacation(c) },
+	"ycsb":      func(c Config) Workload { return NewYCSB(c) },
+}
+
+// Names lists the kernels in report order.
+func Names() []string {
+	return []string{"ctree", "echo", "hashmap", "memcached", "nfs", "redis", "tpcc", "vacation", "ycsb"}
+}
+
+// New builds a named kernel.
+func New(name string, cfg Config) (Workload, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("whisper: unknown kernel %q", name)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return f(cfg), nil
+}
+
+func threadRNG(seed int64, thread int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(thread)*6271 + 5))
+}
+
+// fill writes a deterministic multi-word payload.
+func fill(ctx sim.Ctx, addr mem.Addr, words int, tag uint64) {
+	for i := 0; i < words; i++ {
+		ctx.Store(addr+mem.Addr(i*mem.WordSize), mem.Word(tag*0x2545F4914F6CDD1D+uint64(i)))
+	}
+}

@@ -1,0 +1,387 @@
+package whisper
+
+import (
+	"testing"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+	"pmemlog/internal/txn"
+)
+
+func testSystem(t *testing.T, mode txn.Mode, threads int) *sim.System {
+	t.Helper()
+	cfg := sim.DefaultConfig(mode, threads)
+	cfg.Caches.L1.SizeBytes = 4 << 10
+	cfg.Caches.L1.Ways = 4
+	cfg.Caches.L2.SizeBytes = 64 << 10
+	cfg.Caches.L2.Ways = 8
+	cfg.NVRAMBytes = 32 << 20
+	cfg.LogBytes = 256 << 10
+	cfg.GrowReserveBytes = 1 << 20
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testCfg(threads int) Config {
+	return Config{Records: 256, TxnsPerThread: 40, Threads: threads, Seed: 3}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Names()) != 9 {
+		t.Errorf("expected 9 kernels, got %d", len(Names()))
+	}
+	for _, name := range Names() {
+		w, err := New(name, testCfg(1))
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if w.Name() != name {
+			t.Errorf("kernel %s reports name %s", name, w.Name())
+		}
+	}
+	if _, err := New("nope", testCfg(1)); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := New("ycsb", Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestAllKernelsRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := testSystem(t, txn.FWB, 2)
+			w, err := New(name, testCfg(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Setup(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RunN(w.Run); err != nil {
+				t.Fatal(err)
+			}
+			if s.Stats().Transactions == 0 {
+				t.Error("no transactions committed")
+			}
+		})
+	}
+}
+
+func TestCTreeAgainstShadow(t *testing.T) {
+	s := testSystem(t, txn.NonPers, 1)
+	cfg := testCfg(1)
+	cfg.TxnsPerThread = 400
+	c := NewCTree(cfg)
+	if err := c.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	shadow := map[uint64]bool{}
+	for k := uint64(0); k < uint64(cfg.Records); k += 2 {
+		shadow[k] = true
+	}
+	rng := threadRNG(cfg.Seed, 0)
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		for i := 0; i < cfg.TxnsPerThread; i++ {
+			key := uint64(rng.Int63()) % uint64(cfg.Records)
+			inserted := c.InsertOrRemove(ctx, 0, key)
+			if inserted == shadow[key] {
+				panic("ctree/shadow disagree")
+			}
+			shadow[key] = !shadow[key]
+		}
+		for k := uint64(0); k < uint64(cfg.Records); k++ {
+			if c.Contains(ctx, 0, k) != shadow[k] {
+				panic("ctree final membership mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEchoGetSeesPut(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	e := NewEcho(testCfg(1))
+	if err := e.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		e.Put(ctx, 0, 5)
+		if e.Get(ctx, 0, 5) == 0 {
+			panic("get after put returned nothing")
+		}
+		if e.Get(ctx, 0, 7) != 0 {
+			panic("get of never-put key returned data")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPCCOrderCounting(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	tp := NewTPCC(cfg)
+	if err := tp.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		items := []int{1, 2, 3, 4, 5}
+		for i := 0; i < 10; i++ {
+			tp.NewOrder(ctx, 0, 0, len(items), items)
+		}
+		// District 0 next order id must have advanced by exactly 10.
+		if got := tp.DistrictNextOID(ctx, 0, 0); got != 11 {
+			panic("district OID wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacationReservationsBounded(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	v := NewVacation(cfg)
+	if err := v.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		cand := []int{0, 1, 2}
+		for i := 0; i < 5; i++ {
+			if !v.Reserve(ctx, 0, 0, cand) {
+				panic("reservation failed with availability")
+			}
+		}
+		if got := v.CustomerCount(ctx, 0); got != 5 {
+			panic("customer reservation count wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashmapRoundTrip(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	h := NewHashmap(testCfg(1))
+	if err := h.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		ctx.TxBegin()
+		h.kv.set(ctx, 3, 777)
+		ctx.TxCommit()
+		v, ok := h.Get(ctx, 3)
+		if !ok || v == 0 {
+			panic("hashmap get after set failed")
+		}
+		ctx.TxBegin()
+		if !h.kv.del(ctx, 3) {
+			panic("delete of present key failed")
+		}
+		ctx.TxCommit()
+		if _, ok := h.Get(ctx, 3); ok {
+			panic("key present after delete")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYCSBUpdateVisible(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	y := NewYCSB(testCfg(1))
+	if err := y.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		before := ctx.Load(y.Row(4))
+		y.Update(ctx, 4, 2, 999)
+		after := ctx.Load(y.Row(4))
+		if after != before+1 {
+			panic("row version did not advance")
+		}
+		if ctx.Load(y.Row(4)+mem.Addr(3*mem.WordSize)) != 999 {
+			panic("field update not visible")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcachedLRUEviction(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	mc := NewMemcached(cfg)
+	if err := mc.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	capacity := mc.capacity
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		// The cache is warmed to capacity with keys [0, capacity).
+		if _, hit := mc.Get(ctx, 0, 0); !hit {
+			panic("warmed key missing")
+		}
+		// Touch key 1 so it is MRU, then insert enough new keys to force
+		// evictions; count must never exceed capacity.
+		mc.Get(ctx, 0, 1)
+		for k := 0; k < capacity; k++ {
+			mc.Set(ctx, 0, uint64(capacity+k), 7)
+			if got := mc.Count(ctx, 0); got > capacity {
+				panic("cache exceeded capacity")
+			}
+		}
+		// The recently-inserted keys must be present.
+		if _, hit := mc.Get(ctx, 0, uint64(2*capacity-1)); !hit {
+			panic("fresh key evicted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcachedGetWrites(t *testing.T) {
+	// The LRU splice makes GETs write persistent memory — memcached's
+	// distinguishing behaviour in WHISPER. A pure-GET run must still
+	// produce log records.
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	mc := NewMemcached(cfg)
+	if err := mc.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		for k := 0; k < 50; k++ {
+			mc.Get(ctx, 0, uint64(k%mc.capacity))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().LogAppends == 0 {
+		t.Error("GET-only run produced no log records (LRU splice missing?)")
+	}
+}
+
+// Write-intensity spectrum: tpcc must write more NVRAM bytes per
+// transaction than vacation (the paper's energy argument for Fig 10).
+func TestWriteIntensitySpectrum(t *testing.T) {
+	perTxBytes := func(name string) float64 {
+		s := testSystem(t, txn.FWB, 1)
+		w, err := New(name, testCfg(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Setup(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunN(w.Run); err != nil {
+			t.Fatal(err)
+		}
+		r := s.Stats()
+		return float64(r.NVRAMWriteBytes) / float64(r.Transactions)
+	}
+	tpcc := perTxBytes("tpcc")
+	vac := perTxBytes("vacation")
+	if tpcc <= vac {
+		t.Errorf("tpcc (%.0f B/tx) not more write-intensive than vacation (%.0f B/tx)", tpcc, vac)
+	}
+}
+
+func TestNFSLifecycle(t *testing.T) {
+	s := testSystem(t, txn.FWB, 1)
+	cfg := testCfg(1)
+	fs := NewNFS(cfg)
+	if err := fs.Setup(s); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunN(func(ctx sim.Ctx, id int) {
+		name := uint64(1) // odd names are not pre-created
+		if _, ok := fs.Stat(ctx, 0, name); ok {
+			panic("odd name pre-exists")
+		}
+		if !fs.Create(ctx, 0, name, 100) {
+			panic("create failed")
+		}
+		if fs.Create(ctx, 0, name, 101) {
+			panic("duplicate create succeeded")
+		}
+		for k := 0; k < 3; k++ {
+			if !fs.Append(ctx, 0, name, uint64(200+k), 0xdead) {
+				panic("append to existing file failed")
+			}
+		}
+		if size, ok := fs.Stat(ctx, 0, name); !ok || size != 3*4096 {
+			panic("size wrong after appends")
+		}
+		if !fs.Unlink(ctx, 0, name) {
+			panic("unlink failed")
+		}
+		if _, ok := fs.Stat(ctx, 0, name); ok {
+			panic("file present after unlink")
+		}
+		if fs.Unlink(ctx, 0, name) {
+			panic("double unlink succeeded")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash consistency must hold on a real WHISPER kernel, not just the
+// synthetic counters (nfs exercises allocation, chains and inode updates).
+func TestNFSCrashRecovery(t *testing.T) {
+	build := func() (*sim.System, *NFS) {
+		cfg := sim.DefaultConfig(txn.FWB, 2)
+		cfg.Caches.L1.SizeBytes = 4 << 10
+		cfg.Caches.L1.Ways = 4
+		cfg.Caches.L2.SizeBytes = 64 << 10
+		cfg.Caches.L2.Ways = 8
+		cfg.NVRAMBytes = 32 << 20
+		cfg.LogBytes = 128 << 10
+		cfg.GrowReserveBytes = 1 << 20
+		cfg.TrackOracle = true
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := NewNFS(testCfg(2))
+		if err := fs.Setup(s); err != nil {
+			t.Fatal(err)
+		}
+		return s, fs
+	}
+	probe, fs := build()
+	if err := probe.RunN(fs.Run); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.WallCycles()
+	for _, frac := range []float64{0.3, 0.7} {
+		s, fs2 := build()
+		crashAt := uint64(float64(total) * frac)
+		s.ScheduleCrash(crashAt)
+		if err := s.RunN(fs2.Run); err != sim.ErrCrashed {
+			t.Fatalf("crash at %.0f%%: %v", frac*100, err)
+		}
+		rep, err := s.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := s.VerifyRecovery(rep, crashAt); len(bad) != 0 {
+			t.Fatalf("crash at %.0f%%: %s", frac*100, bad[0])
+		}
+	}
+}

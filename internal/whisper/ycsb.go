@@ -1,0 +1,91 @@
+package whisper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+// YCSB models WHISPER's ycsb (workload A): 50% reads / 50% updates over a
+// table of ~100 B rows with a zipfian key distribution. Rows live in a
+// flat table (the store behind YCSB is keyed by record number).
+//
+// NVRAM layout: Records rows x 13 words (104 B), line aligned per row.
+const ycsbRowWords = 13
+
+type YCSB struct {
+	cfg  Config
+	sys  *sim.System
+	rows mem.Addr
+}
+
+// NewYCSB builds the kernel.
+func NewYCSB(cfg Config) *YCSB { return &YCSB{cfg: cfg} }
+
+// Name implements Workload.
+func (y *YCSB) Name() string { return "ycsb" }
+
+func ycsbRowStride() int {
+	return (ycsbRowWords*mem.WordSize + mem.LineSize - 1) &^ (mem.LineSize - 1)
+}
+
+// Setup implements Workload.
+func (y *YCSB) Setup(s *sim.System) error {
+	y.sys = s
+	a, err := s.Heap().AllocLine(uint64(y.cfg.Records * ycsbRowStride()))
+	if err != nil {
+		return fmt.Errorf("ycsb: %w", err)
+	}
+	y.rows = a
+	setup := s.SetupCtx()
+	for r := 0; r < y.cfg.Records; r++ {
+		fill(setup, y.Row(r), ycsbRowWords, uint64(r))
+	}
+	return nil
+}
+
+// Row returns the address of record r.
+func (y *YCSB) Row(r int) mem.Addr { return y.rows + mem.Addr(r*ycsbRowStride()) }
+
+// Read is the read transaction: load the whole row.
+func (y *YCSB) Read(ctx sim.Ctx, r int) mem.Word {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	var v mem.Word
+	for i := 0; i < ycsbRowWords; i++ {
+		v ^= ctx.Load(y.Row(r) + mem.Addr(i*mem.WordSize))
+		ctx.Compute(2)
+	}
+	return v
+}
+
+// Update is the update transaction: rewrite one field (YCSB updates one
+// field of ten by default) plus the row's version word.
+func (y *YCSB) Update(ctx sim.Ctx, r, field int, tag uint64) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	row := y.Row(r)
+	ver := ctx.Load(row)
+	ctx.Store(row, ver+1)
+	ctx.Store(row+mem.Addr((1+field%10)*mem.WordSize), mem.Word(tag))
+}
+
+// Run implements Workload: zipfian over the thread's partition, 50/50
+// read/update (workload A).
+func (y *YCSB) Run(ctx sim.Ctx, thread int) {
+	rng := threadRNG(y.cfg.Seed, thread)
+	per := y.cfg.Records / y.cfg.Threads
+	base := thread * per
+	zipf := rand.NewZipf(rng, 1.1, 2.0, uint64(per-1))
+	for i := 0; i < y.cfg.TxnsPerThread; i++ {
+		r := base + int(zipf.Uint64())
+		if rng.Intn(2) == 0 {
+			y.Read(ctx, r)
+		} else {
+			y.Update(ctx, r, rng.Intn(10), uint64(i))
+		}
+		ctx.Compute(12)
+	}
+}
