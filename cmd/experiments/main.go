@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 		verbose = flag.Bool("v", false, "progress output")
 		csv     = flag.Bool("csv", false, "CSV output")
 		chart   = flag.Bool("chart", false, "append an ASCII bar chart of the fwb column to each figure")
+		jsonOut = flag.Bool("json", false, "write the micro grid's raw runs to BENCH_micro.json")
 	)
 	flag.Parse()
 
@@ -90,7 +92,7 @@ func main() {
 		emit("Table III: microbenchmarks", pmemlog.Table3())
 	}
 
-	needGrid := *fig6 || *fig7 || *fig8 || *fig9 || *all
+	needGrid := *fig6 || *fig7 || *fig8 || *fig9 || *jsonOut || *all
 	if needGrid {
 		rs, err := pmemlog.RunMicroGrid(pmemlog.MicroBenchNames(), threadCounts, modes, p, progress)
 		if err != nil {
@@ -113,6 +115,12 @@ func main() {
 		if *fig9 || *all {
 			emit("Fig 9: NVRAM write traffic reduction vs unsafe-base (higher is better)",
 				pmemlog.Fig9(rs, threadCounts, modes))
+		}
+		if *jsonOut {
+			if err := writeJSON("BENCH_micro.json", rs); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "wrote BENCH_micro.json")
 		}
 	}
 
@@ -150,6 +158,40 @@ func main() {
 		emit("Fig 11b: required FWB scan interval vs log size",
 			pmemlog.Fig11b(pmemlog.Fig11bSizes()))
 	}
+}
+
+// jsonRun is one machine-readable grid point: the raw counters plus the
+// derived rates the figures are built from, so downstream tooling never
+// re-implements the normalization arithmetic.
+type jsonRun struct {
+	pmemlog.Run
+	ThroughputTxS float64 `json:"throughput_tx_s"`
+	IPC           float64 `json:"ipc"`
+	TotalEnergyPJ float64 `json:"total_energy_pj"`
+}
+
+// writeJSON dumps every run in the set, sorted by (benchmark, mode,
+// threads), to path (atomically: temp file + rename).
+func writeJSON(path string, rs *pmemlog.RunSet) error {
+	runs := rs.Runs()
+	out := make([]jsonRun, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, jsonRun{
+			Run:           r,
+			ThroughputTxS: r.Throughput(),
+			IPC:           r.IPC(),
+			TotalEnergyPJ: r.MemEnergyPJ + r.ProcEnergyPJ,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func parseThreads(s string) []int {

@@ -1,0 +1,183 @@
+// Command pmload is a closed-loop load generator for pmserver: N
+// connections each issue a configurable read/write mix against a shared
+// keyspace and the run reports sustained throughput plus client-observed
+// latency percentiles (p50/p95/p99).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pmemlog/internal/server"
+)
+
+type connResult struct {
+	ops       int
+	reads     int
+	writes    int
+	txns      int
+	notFound  int
+	retries   int
+	errs      int
+	latencies []time.Duration // per-op round-trip
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "pmserver address")
+		conns    = flag.Int("conns", 64, "concurrent connections (closed loop, one op in flight each)")
+		ops      = flag.Int("ops", 2000, "operations per connection")
+		readFrac = flag.Float64("read-frac", 0.5, "fraction of ops that are GETs")
+		txnFrac  = flag.Float64("txn-frac", 0.05, "fraction of ops that are 3-op TXN batches")
+		keys     = flag.Int("keys", 4096, "distinct keys in the shared keyspace")
+		valSize  = flag.Int("value-size", 128, "value size in bytes")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		stats    = flag.Bool("stats", true, "print the server stats snapshot after the run")
+	)
+	flag.Parse()
+	if *valSize > server.MaxValueLen {
+		fmt.Fprintf(os.Stderr, "value-size %d exceeds protocol limit %d\n", *valSize, server.MaxValueLen)
+		os.Exit(2)
+	}
+
+	// Discover the shard count once so TXN batches can be built same-shard.
+	probe, err := server.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmload: %v\n", err)
+		os.Exit(1)
+	}
+	snap, err := probe.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmload: stats probe: %v\n", err)
+		os.Exit(1)
+	}
+	probe.Close()
+	shards := snap.Shards
+
+	// Pre-group the keyspace by shard for TXN construction.
+	byShard := make([][]int, shards)
+	for k := 0; k < *keys; k++ {
+		s := server.ShardOf(keyName(k), shards)
+		byShard[s] = append(byShard[s], k)
+	}
+
+	results := make([]*connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runConn(*addr, *ops, *readFrac, *txnFrac, *keys, *valSize, byShard,
+				rand.New(rand.NewSource(*seed+int64(i))))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total connResult
+	var lats []time.Duration
+	for _, r := range results {
+		total.ops += r.ops
+		total.reads += r.reads
+		total.writes += r.writes
+		total.txns += r.txns
+		total.notFound += r.notFound
+		total.retries += r.retries
+		total.errs += r.errs
+		lats = append(lats, r.latencies...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+
+	fmt.Printf("pmload: %d conns x %d ops against %s (%d shards)\n", *conns, *ops, *addr, shards)
+	fmt.Printf("  completed: %d ops in %v (%d reads, %d writes, %d txns, %d not-found, %d retries, %d errors)\n",
+		total.ops, elapsed.Round(time.Millisecond), total.reads, total.writes, total.txns,
+		total.notFound, total.retries, total.errs)
+	fmt.Printf("  throughput: %.0f ops/s\n", float64(total.ops)/elapsed.Seconds())
+	if len(lats) > 0 {
+		fmt.Printf("  latency: p50=%v p95=%v p99=%v max=%v\n",
+			pct(lats, 50), pct(lats, 95), pct(lats, 99), lats[len(lats)-1])
+	}
+	if *stats {
+		c, err := server.Dial(*addr)
+		if err == nil {
+			if js, err := c.StatsJSON(); err == nil {
+				fmt.Printf("  server stats: %s\n", js)
+			}
+			c.Close()
+		}
+	}
+	if total.errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func keyName(k int) []byte { return []byte(fmt.Sprintf("load-%06d", k)) }
+
+func runConn(addr string, ops int, readFrac, txnFrac float64, keys, valSize int,
+	byShard [][]int, rng *rand.Rand) *connResult {
+	r := &connResult{latencies: make([]time.Duration, 0, ops)}
+	c, err := server.Dial(addr)
+	if err != nil {
+		r.errs++
+		return r
+	}
+	defer c.Close()
+	c.MaxRetries = 100
+	val := make([]byte, valSize)
+	for i := 0; i < ops; i++ {
+		rng.Read(val)
+		var err error
+		t0 := time.Now()
+		switch p := rng.Float64(); {
+		case p < readFrac:
+			_, found, gerr := c.Get(keyName(rng.Intn(keys)))
+			err = gerr
+			r.reads++
+			if gerr == nil && !found {
+				r.notFound++
+			}
+		case p < readFrac+txnFrac:
+			// Same-shard batch: pick a shard, then 3 of its keys.
+			group := byShard[rng.Intn(len(byShard))]
+			if len(group) < 3 {
+				continue
+			}
+			opsb := make([]server.Op, 3)
+			for j := range opsb {
+				opsb[j] = server.Op{Code: server.OpPut,
+					Key: keyName(group[rng.Intn(len(group))]), Val: val}
+			}
+			err = c.Txn(opsb)
+			r.txns++
+		default:
+			err = c.Put(keyName(rng.Intn(keys)), val)
+			r.writes++
+		}
+		if re, ok := err.(server.ErrRetry); ok {
+			r.retries++
+			time.Sleep(re.After)
+			continue
+		}
+		if err != nil {
+			r.errs++
+			return r
+		}
+		r.ops++
+		r.latencies = append(r.latencies, time.Since(t0))
+	}
+	return r
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,58 @@
+// Command pmserver serves a sharded persistent KV store over TCP: every
+// write funnels through the simulated HWL/FWB persistent-memory pipeline
+// and is acknowledged only once the shard's NVRAM DIMM image is durably on
+// disk. SIGINT/SIGTERM drain gracefully; kill -9 exercises the recovery
+// path (the next boot replays the logs in each shard image).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pmemlog/internal/server"
+	"pmemlog/internal/txn"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		dir    = flag.String("dir", "pmserver-data", "data directory for shard DIMM images")
+		shards = flag.Int("shards", 4, "worker shards (fixed at first boot; later runs adopt the manifest)")
+		mode   = flag.String("mode", "fwb", "logging design (fwb, hw-ulog, hw-rlog, ...)")
+		queue  = flag.Int("queue", 256, "per-shard queue depth before backpressure")
+		batch  = flag.Int("batch", 32, "max requests per shard batch")
+		nvram  = flag.Uint64("nvram-mb", 8, "per-shard NVRAM size in MiB")
+		logKB  = flag.Uint64("log-kb", 256, "per-shard log size in KiB")
+	)
+	flag.Parse()
+
+	m, err := txn.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv, err := server.Start(server.Config{
+		Addr:       *addr,
+		Dir:        *dir,
+		Shards:     *shards,
+		Mode:       m,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		NVRAMBytes: *nvram << 20,
+		LogBytes:   *logKB << 10,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("pmserver: %v: draining", s)
+	srv.Shutdown()
+}

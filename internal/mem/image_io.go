@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 )
 
 // Physical image serialization: a compact sparse format (only non-zero
@@ -100,6 +102,50 @@ func ReadPhysical(r io.Reader) (*Physical, error) {
 			return nil, fmt.Errorf("mem: image line %d: %w", idx, err)
 		}
 	}
+}
+
+// WriteFile persists the image to path atomically: the bytes go to a
+// temporary file in the same directory, are synced, and the file is
+// renamed over path — so a process killed mid-save leaves either the old
+// image or the new one, never a torn file. This is the durability point
+// services built on the simulated DIMM ack writes against.
+func (p *Physical) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".img-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadPhysicalFile loads an image persisted by WriteFile (or WriteTo).
+func ReadPhysicalFile(path string) (*Physical, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPhysical(f)
 }
 
 // CopyFrom overwrites this region's contents with another image of the

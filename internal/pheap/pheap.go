@@ -90,6 +90,20 @@ func (h *Heap) Free(a mem.Addr, n uint64) {
 	h.frees++
 }
 
+// SetUsed re-attaches the volatile allocator to a heap whose occupancy was
+// persisted by an earlier process: the bump pointer advances to n bytes so
+// future allocations never overwrite surviving data. It never moves the
+// pointer backwards.
+func (h *Heap) SetUsed(n uint64) error {
+	if n > h.size {
+		return fmt.Errorf("pheap: SetUsed(%d) exceeds heap size %d", n, h.size)
+	}
+	if r := round(n); r > h.off {
+		h.off = r
+	}
+	return nil
+}
+
 // Contains reports whether [a, a+n) lies inside the heap.
 func (h *Heap) Contains(a mem.Addr, n uint64) bool {
 	return a >= h.base && uint64(a-h.base)+n <= h.size

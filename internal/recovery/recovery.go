@@ -25,24 +25,25 @@ import (
 	"pmemlog/internal/nvlog"
 )
 
-// Report summarizes one recovery pass.
+// Report summarizes one recovery pass. The JSON tags let services persist
+// or expose boot-time recovery evidence (pmserver's stats endpoint).
 type Report struct {
-	EntriesScanned int
-	Committed      []uint16 // transaction IDs redone
-	Uncommitted    []uint16 // transaction IDs rolled back
-	RedoWrites     int
-	UndoWrites     int
-	TrueTail       uint64
+	EntriesScanned int      `json:"entries_scanned"`
+	Committed      []uint16 `json:"committed"`   // transaction IDs redone
+	Uncommitted    []uint16 `json:"uncommitted"` // transaction IDs rolled back
+	RedoWrites     int      `json:"redo_writes"`
+	UndoWrites     int      `json:"undo_writes"`
+	TrueTail       uint64   `json:"true_tail"`
 	// Heads holds each recovered region's durable head pointer (in
 	// logBases order). A transaction whose records all lie below its
 	// region's durable head was truncated with full durability evidence —
 	// the durable head write was ordered after the data write-backs that
 	// allowed the truncation.
-	Heads []uint64
+	Heads []uint64 `json:"heads"`
 	// Hops counts the log_grow forward pointers followed per region: a
 	// durable forward proves everything ordered before that grow —
 	// including all earlier truncations' data write-backs — reached NVRAM.
-	Hops []int
+	Hops []int `json:"hops"`
 }
 
 // Recover runs the full procedure against a post-crash NVRAM image.

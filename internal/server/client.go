@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a blocking, single-stream pmserver client. It is not safe for
+// concurrent use; open one Client per connection (pmload opens one per
+// simulated user).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	out  []byte
+
+	// MaxRetries bounds automatic retry on StatusRetry backpressure
+	// (sleeping the server-suggested delay between attempts). Zero means
+	// backpressure surfaces as ErrRetry and the caller schedules the retry.
+	MaxRetries int
+}
+
+// ErrRetry reports server backpressure to callers that manage their own
+// retry policy.
+type ErrRetry struct{ After time.Duration }
+
+func (e ErrRetry) Error() string {
+	return fmt.Sprintf("server busy, retry after %v", e.After)
+}
+
+// ErrServer carries a StatusErr message.
+type ErrServer struct{ Msg string }
+
+func (e ErrServer) Error() string { return e.Msg }
+
+// Dial connects to a pmserver.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes one response, honoring the
+// retry policy.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	body, err := EncodeRequest(c.out[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.out = body // keep the grown buffer
+	for attempt := 0; ; attempt++ {
+		if err := WriteFrame(c.bw, body); err != nil {
+			return nil, err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return nil, err
+		}
+		rb, err := ReadFrame(c.br, MaxFrame)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := DecodeResponse(rb)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != StatusRetry {
+			return resp, nil
+		}
+		after := time.Duration(resp.RetryAfterMs) * time.Millisecond
+		if attempt >= c.MaxRetries {
+			return nil, ErrRetry{After: after}
+		}
+		time.Sleep(after)
+	}
+}
+
+// Get fetches a key; found=false means the key does not exist.
+func (c *Client) Get(key []byte) (val []byte, found bool, err error) {
+	resp, err := c.roundTrip(&Request{Code: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Val, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, ErrServer{Msg: resp.Err}
+}
+
+// Put durably stores key=val. A nil error means the write is acked: it
+// survives a server kill.
+func (c *Client) Put(key, val []byte) error {
+	resp, err := c.roundTrip(&Request{Code: OpPut, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return ErrServer{Msg: resp.Err}
+	}
+	return nil
+}
+
+// Del durably deletes a key; found=false means it did not exist.
+func (c *Client) Del(key []byte) (found bool, err error) {
+	resp, err := c.roundTrip(&Request{Code: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	}
+	return false, ErrServer{Msg: resp.Err}
+}
+
+// Txn atomically applies a batch of PUT/DEL ops. All keys must hash to one
+// shard (use ShardOf to build conforming batches); the server rejects
+// cross-shard batches.
+func (c *Client) Txn(ops []Op) error {
+	resp, err := c.roundTrip(&Request{Code: OpTxn, Ops: ops})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return ErrServer{Msg: resp.Err}
+	}
+	return nil
+}
+
+// Stats fetches and decodes the server's stats snapshot.
+func (c *Client) Stats() (StatsSnapshot, error) {
+	var snap StatsSnapshot
+	resp, err := c.roundTrip(&Request{Code: OpStats})
+	if err != nil {
+		return snap, err
+	}
+	if resp.Status != StatusOK {
+		return snap, ErrServer{Msg: resp.Err}
+	}
+	err = json.Unmarshal(resp.Val, &snap)
+	return snap, err
+}
+
+// StatsJSON fetches the raw stats JSON document.
+func (c *Client) StatsJSON() ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Code: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, ErrServer{Msg: resp.Err}
+	}
+	return resp.Val, nil
+}

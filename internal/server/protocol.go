@@ -1,0 +1,372 @@
+// Package server exposes the persistent heap as a sharded network KV
+// service: a length-prefixed binary protocol over TCP fronting N worker
+// shards, each owning one simulated machine whose every write funnels
+// through the paper's txn → core (HWL/FWB) → nvlog → nvram pipeline.
+//
+// Durability contract: a PUT / DEL / TXN is acknowledged only after the
+// shard's transaction(s) committed on the simulated machine AND the
+// shard's NVRAM DIMM image was atomically persisted to disk — so any
+// acknowledged write survives a hard process kill and is visible after the
+// server restarts and re-attaches (recovers) the image.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes (request body's first byte).
+const (
+	OpGet   = byte(0x01)
+	OpPut   = byte(0x02)
+	OpDel   = byte(0x03)
+	OpTxn   = byte(0x04) // atomic multi-op batch (PUT/DEL sub-ops, one shard)
+	OpStats = byte(0x05)
+)
+
+// Response status codes (response body's first byte).
+const (
+	StatusOK       = byte(0x00)
+	StatusNotFound = byte(0x01)
+	// StatusRetry is backpressure: the shard's bounded queue is full (or
+	// the server is draining); the client should retry after the suggested
+	// delay rather than the server buffering unboundedly.
+	StatusRetry = byte(0x02)
+	StatusErr   = byte(0x03)
+)
+
+// Protocol limits. Oversized frames are rejected before allocation.
+const (
+	MaxKeyLen   = 1 << 10
+	MaxValueLen = 64 << 10
+	MaxTxnOps   = 64
+	MaxFrame    = 1 << 22
+)
+
+// Op is one sub-operation of a TXN batch.
+type Op struct {
+	Code byte // OpPut or OpDel
+	Key  []byte
+	Val  []byte // OpPut only
+}
+
+// Request is one decoded client request.
+type Request struct {
+	Code byte
+	Key  []byte // GET/PUT/DEL
+	Val  []byte // PUT
+	Ops  []Op   // TXN
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status       byte
+	Val          []byte // StatusOK payload (GET value, STATS JSON; empty otherwise)
+	RetryAfterMs uint32 // StatusRetry
+	Err          string // StatusErr
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, rejecting bodies over max.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > max {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// appendKey encodes u16 length + bytes.
+func appendKey(buf, key []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	return append(buf, key...)
+}
+
+// appendVal encodes u32 length + bytes.
+func appendVal(buf, val []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	return append(buf, val...)
+}
+
+// EncodeRequest appends the request's wire body to buf.
+func EncodeRequest(buf []byte, r *Request) ([]byte, error) {
+	buf = append(buf, r.Code)
+	switch r.Code {
+	case OpGet, OpDel:
+		if err := checkKey(r.Key); err != nil {
+			return nil, err
+		}
+		buf = appendKey(buf, r.Key)
+	case OpPut:
+		if err := checkKV(r.Key, r.Val); err != nil {
+			return nil, err
+		}
+		buf = appendKey(buf, r.Key)
+		buf = appendVal(buf, r.Val)
+	case OpTxn:
+		if len(r.Ops) > MaxTxnOps {
+			return nil, fmt.Errorf("server: txn of %d ops exceeds limit %d", len(r.Ops), MaxTxnOps)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Ops)))
+		for _, op := range r.Ops {
+			buf = append(buf, op.Code)
+			switch op.Code {
+			case OpPut:
+				if err := checkKV(op.Key, op.Val); err != nil {
+					return nil, err
+				}
+				buf = appendKey(buf, op.Key)
+				buf = appendVal(buf, op.Val)
+			case OpDel:
+				if err := checkKey(op.Key); err != nil {
+					return nil, err
+				}
+				buf = appendKey(buf, op.Key)
+			default:
+				return nil, fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
+			}
+		}
+	case OpStats:
+		// opcode only
+	default:
+		return nil, fmt.Errorf("server: unknown opcode %#x", r.Code)
+	}
+	return buf, nil
+}
+
+func checkKey(key []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return fmt.Errorf("server: key length %d outside [1, %d]", len(key), MaxKeyLen)
+	}
+	return nil
+}
+
+func checkKV(key, val []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if len(val) > MaxValueLen {
+		return fmt.Errorf("server: value length %d exceeds %d", len(val), MaxValueLen)
+	}
+	return nil
+}
+
+// cursor walks a wire body with bounds checking.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) u8() (byte, error) {
+	if c.off+1 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	if c.off+2 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) key() ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	k, err := c.bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return k, checkKey(k)
+}
+
+func (c *cursor) val() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxValueLen {
+		return nil, fmt.Errorf("server: value length %d exceeds %d", n, MaxValueLen)
+	}
+	return c.bytes(int(n))
+}
+
+// DecodeRequest parses a request wire body.
+func DecodeRequest(body []byte) (*Request, error) {
+	c := &cursor{b: body}
+	code, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{Code: code}
+	switch code {
+	case OpGet, OpDel:
+		if r.Key, err = c.key(); err != nil {
+			return nil, err
+		}
+	case OpPut:
+		if r.Key, err = c.key(); err != nil {
+			return nil, err
+		}
+		if r.Val, err = c.val(); err != nil {
+			return nil, err
+		}
+	case OpTxn:
+		n, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > MaxTxnOps {
+			return nil, fmt.Errorf("server: txn of %d ops exceeds limit %d", n, MaxTxnOps)
+		}
+		r.Ops = make([]Op, n)
+		for i := range r.Ops {
+			op := &r.Ops[i]
+			if op.Code, err = c.u8(); err != nil {
+				return nil, err
+			}
+			switch op.Code {
+			case OpPut:
+				if op.Key, err = c.key(); err != nil {
+					return nil, err
+				}
+				if op.Val, err = c.val(); err != nil {
+					return nil, err
+				}
+			case OpDel:
+				if op.Key, err = c.key(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
+			}
+		}
+	case OpStats:
+	default:
+		return nil, fmt.Errorf("server: unknown opcode %#x", code)
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("server: %d trailing bytes after request", len(body)-c.off)
+	}
+	return r, nil
+}
+
+// EncodeResponse appends the response's wire body to buf.
+func EncodeResponse(buf []byte, r *Response) []byte {
+	buf = append(buf, r.Status)
+	switch r.Status {
+	case StatusOK:
+		buf = appendVal(buf, r.Val)
+	case StatusRetry:
+		buf = binary.LittleEndian.AppendUint32(buf, r.RetryAfterMs)
+	case StatusErr:
+		msg := r.Err
+		if len(msg) > MaxKeyLen {
+			msg = msg[:MaxKeyLen]
+		}
+		buf = appendKey(buf, []byte(msg))
+	}
+	return buf
+}
+
+// DecodeResponse parses a response wire body.
+func DecodeResponse(body []byte) (*Response, error) {
+	c := &cursor{b: body}
+	status, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	r := &Response{Status: status}
+	switch status {
+	case StatusOK:
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if r.Val, err = c.bytes(int(n)); err != nil {
+			return nil, err
+		}
+	case StatusNotFound:
+	case StatusRetry:
+		if r.RetryAfterMs, err = c.u32(); err != nil {
+			return nil, err
+		}
+	case StatusErr:
+		n, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		msg, err := c.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		r.Err = string(msg)
+	default:
+		return nil, fmt.Errorf("server: unknown response status %#x", status)
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("server: %d trailing bytes after response", len(body)-c.off)
+	}
+	return r, nil
+}
+
+// hash64 is FNV-1a over the key bytes: it routes a key to its shard (low
+// bits) and, within the shard's store, to its hash bucket (higher bits).
+func hash64(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardOf routes a key to one of n shards. Exported so load generators and
+// tests can construct same-shard TXN batches.
+func ShardOf(key []byte, n int) int {
+	return int(hash64(key) % uint64(n))
+}

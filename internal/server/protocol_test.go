@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Code: OpGet, Key: []byte("k")},
+		{Code: OpDel, Key: bytes.Repeat([]byte("k"), MaxKeyLen)},
+		{Code: OpPut, Key: []byte("key"), Val: []byte("value")},
+		{Code: OpPut, Key: []byte("key"), Val: nil},
+		{Code: OpStats},
+		{Code: OpTxn, Ops: []Op{
+			{Code: OpPut, Key: []byte("a"), Val: []byte("1")},
+			{Code: OpDel, Key: []byte("b")},
+			{Code: OpPut, Key: []byte("c"), Val: bytes.Repeat([]byte("v"), 300)},
+		}},
+	}
+	for _, req := range reqs {
+		body, err := EncodeRequest(nil, req)
+		if err != nil {
+			t.Fatalf("encode %#x: %v", req.Code, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", req.Code, err)
+		}
+		if got.Code != req.Code || !bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Val, req.Val) {
+			t.Fatalf("round trip mismatch: %+v -> %+v", req, got)
+		}
+		if len(got.Ops) != len(req.Ops) {
+			t.Fatalf("ops count: %d != %d", len(got.Ops), len(req.Ops))
+		}
+		for i := range req.Ops {
+			if got.Ops[i].Code != req.Ops[i].Code ||
+				!bytes.Equal(got.Ops[i].Key, req.Ops[i].Key) ||
+				!bytes.Equal(got.Ops[i].Val, req.Ops[i].Val) {
+				t.Fatalf("op %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	bad := []*Request{
+		{Code: OpGet},                             // empty key
+		{Code: OpPut, Key: bytes.Repeat([]byte("k"), MaxKeyLen+1)}, // oversized key
+		{Code: OpPut, Key: []byte("k"), Val: make([]byte, MaxValueLen+1)},
+		{Code: OpTxn, Ops: make([]Op, MaxTxnOps+1)},
+		{Code: OpTxn, Ops: []Op{{Code: OpGet, Key: []byte("k")}}}, // GET not a txn sub-op
+		{Code: 0x7f},
+	}
+	for i, req := range bad {
+		if _, err := EncodeRequest(nil, req); err == nil {
+			t.Errorf("case %d: encode accepted invalid request", i)
+		}
+	}
+	// Decoder must reject trailing garbage and truncated bodies.
+	body, _ := EncodeRequest(nil, &Request{Code: OpPut, Key: []byte("k"), Val: []byte("v")})
+	if _, err := DecodeRequest(append(body, 0)); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+	for n := 1; n < len(body); n++ {
+		if _, err := DecodeRequest(body[:n]); err == nil {
+			t.Errorf("decode accepted truncated body of %d/%d bytes", n, len(body))
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []*Response{
+		{Status: StatusOK, Val: []byte("payload")},
+		{Status: StatusOK},
+		{Status: StatusNotFound},
+		{Status: StatusRetry, RetryAfterMs: 7},
+		{Status: StatusErr, Err: "boom"},
+	}
+	for _, r := range resps {
+		got, err := DecodeResponse(EncodeResponse(nil, r))
+		if err != nil {
+			t.Fatalf("decode status %#x: %v", r.Status, err)
+		}
+		if got.Status != r.Status || !bytes.Equal(got.Val, r.Val) ||
+			got.RetryAfterMs != r.RetryAfterMs || got.Err != r.Err {
+			t.Fatalf("round trip mismatch: %+v -> %+v", r, got)
+		}
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 99); err == nil {
+		t.Fatal("ReadFrame accepted oversized frame")
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	// The shard route must be deterministic (persisted data depends on it).
+	if got := ShardOf([]byte("stable-key"), 8); got != ShardOf([]byte("stable-key"), 8) {
+		t.Fatalf("ShardOf not deterministic: %d", got)
+	}
+	n := 4
+	counts := make([]int, n)
+	for i := 0; i < 1000; i++ {
+		counts[ShardOf([]byte{byte(i), byte(i >> 8)}, n)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys out of 1000", s)
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"pmemlog/internal/sim"
+	"pmemlog/internal/txn"
+)
+
+// Config describes a pmserver instance.
+type Config struct {
+	Addr string // TCP listen address, e.g. ":7070" or "127.0.0.1:0"
+	Dir  string // data directory: per-shard DIMM images + manifest
+
+	Shards     int      // worker shards (each owns one simulated machine)
+	Mode       txn.Mode // logging design each shard runs (fwb by default)
+	QueueDepth int      // per-shard bounded queue (backpressure beyond this)
+	BatchMax   int      // max requests drained into one shard batch
+	Buckets    uint64   // hash buckets per shard store
+
+	// Per-shard simulated machine sizing. The defaults favor restart
+	// speed over capacity; a real deployment scales NVRAMBytes up.
+	NVRAMBytes uint64
+	LogBytes   uint64
+	L2Bytes    uint64
+
+	RetryAfterMs uint32      // backpressure hint returned with StatusRetry
+	Logger       *log.Logger // nil = log.Default()
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Mode == txn.NonPers {
+		c.Mode = txn.FWB
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 4096
+	}
+	if c.NVRAMBytes == 0 {
+		c.NVRAMBytes = 8 << 20
+	}
+	if c.LogBytes == 0 {
+		c.LogBytes = 256 << 10
+	}
+	if c.L2Bytes == 0 {
+		c.L2Bytes = 256 << 10
+	}
+	if c.RetryAfterMs == 0 {
+		c.RetryAfterMs = 5
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// manifest is the durable boot contract persisted next to the images: a
+// restarting server must rebuild shards with identical geometry or the
+// address map (and therefore every persisted pointer) would shift.
+type manifest struct {
+	Version    int      `json:"version"`
+	Shards     int      `json:"shards"`
+	Mode       txn.Mode `json:"mode"`
+	Buckets    uint64   `json:"buckets"`
+	NVRAMBytes uint64   `json:"nvram_bytes"`
+	LogBytes   uint64   `json:"log_bytes"`
+}
+
+const manifestName = "pmserver.json"
+
+// Server is a running pmserver instance.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	shards []*shard
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	draining atomic.Bool
+	dead     chan struct{} // closed once shards can no longer answer
+	deadOnce sync.Once
+	stopOnce sync.Once
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	// Counters for the stats endpoint.
+	accepted   atomic.Uint64
+	requests   atomic.Uint64
+	retries    atomic.Uint64
+	crossShard atomic.Uint64
+}
+
+// shardConfig builds one shard's machine configuration.
+func shardConfig(c Config) sim.Config {
+	cfg := sim.DefaultConfig(c.Mode, 1)
+	cfg.NVRAMBytes = c.NVRAMBytes
+	cfg.LogBytes = c.LogBytes
+	cfg.Caches.L2.SizeBytes = c.L2Bytes
+	// Persisted images cannot be re-attached across a log_grow migration,
+	// so growing is disabled; the log is sized for the small per-request
+	// transactions the store issues.
+	cfg.GrowReserveBytes = 0
+	cfg.GrowFactor = 0
+	return cfg
+}
+
+// Start boots (or re-attaches) every shard, then begins serving.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// Adopt the persisted manifest when the data directory is live.
+	manPath := filepath.Join(cfg.Dir, manifestName)
+	if b, err := os.ReadFile(manPath); err == nil {
+		var m manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("server: manifest %s: %w", manPath, err)
+		}
+		if m.Version != 1 {
+			return nil, fmt.Errorf("server: manifest version %d unsupported", m.Version)
+		}
+		cfg.Shards, cfg.Mode, cfg.Buckets = m.Shards, m.Mode, m.Buckets
+		cfg.NVRAMBytes, cfg.LogBytes = m.NVRAMBytes, m.LogBytes
+	} else if os.IsNotExist(err) {
+		if !cfg.Mode.Spec().Persistent {
+			return nil, fmt.Errorf("server: mode %q gives no persistence guarantee; refusing to serve writes", cfg.Mode)
+		}
+		b, _ := json.MarshalIndent(manifest{
+			Version: 1, Shards: cfg.Shards, Mode: cfg.Mode, Buckets: cfg.Buckets,
+			NVRAMBytes: cfg.NVRAMBytes, LogBytes: cfg.LogBytes,
+		}, "", "  ")
+		tmp := manPath + ".tmp"
+		if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp, manPath); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		dead:  make(chan struct{}),
+	}
+	scfg := shardConfig(cfg)
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, scfg, cfg.Buckets, cfg.Dir, cfg.QueueDepth, cfg.BatchMax)
+		if err != nil {
+			return nil, err
+		}
+		if sh.bootRep != nil {
+			cfg.Logger.Printf("pmserver: shard %d re-attached %s: %d keys, %d log records scanned, %d txns redone, %d rolled back",
+				i, sh.imgPath, sh.st.keys, sh.bootRep.EntriesScanned, len(sh.bootRep.Committed), len(sh.bootRep.Uncommitted))
+		}
+		s.shards = append(s.shards, sh)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	for _, sh := range s.shards {
+		go sh.loop()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	cfg.Logger.Printf("pmserver: serving on %s (%d shards, mode %s, dir %s)",
+		ln.Addr(), cfg.Shards, cfg.Mode, cfg.Dir)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Dir returns the data directory holding the shard images.
+func (s *Server) Dir() string { return s.cfg.Dir }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(c)
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var out []byte
+	for {
+		body, err := ReadFrame(br, MaxFrame)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(body)
+		var resp Response
+		if err != nil {
+			// A malformed frame means the stream may be desynchronized:
+			// answer once, then drop the connection.
+			resp = Response{Status: StatusErr, Err: err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		out = EncodeResponse(out[:0], &resp)
+		if werr := WriteFrame(bw, out); werr != nil {
+			return
+		}
+		if werr := bw.Flush(); werr != nil {
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one request to its shard and waits for the answer.
+func (s *Server) dispatch(req *Request) Response {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.retries.Add(1)
+		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
+	}
+	if req.Code == OpStats {
+		return s.statsResponse()
+	}
+
+	var key []byte
+	if req.Code == OpTxn {
+		if len(req.Ops) == 0 {
+			return Response{Status: StatusOK}
+		}
+		key = req.Ops[0].Key
+		home := ShardOf(key, len(s.shards))
+		for _, op := range req.Ops[1:] {
+			if ShardOf(op.Key, len(s.shards)) != home {
+				s.crossShard.Add(1)
+				return Response{Status: StatusErr,
+					Err: "cross-shard txn: all keys of a TXN must hash to one shard"}
+			}
+		}
+	} else {
+		key = req.Key
+	}
+	sh := s.shards[ShardOf(key, len(s.shards))]
+	r := &request{req: req, resp: make(chan Response, 1)}
+	if !sh.tryEnqueue(r) {
+		s.retries.Add(1)
+		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
+	}
+	select {
+	case resp := <-r.resp:
+		return resp
+	case <-s.dead:
+		// The shard loops are gone (kill, or a shutdown race): the write
+		// was NOT acked, so the durability contract stays intact.
+		return Response{Status: StatusErr, Err: "server shutting down"}
+	}
+}
+
+// StatsSnapshot is the stats endpoint's JSON document.
+type StatsSnapshot struct {
+	Addr       string       `json:"addr"`
+	Mode       txn.Mode     `json:"mode"`
+	Shards     int          `json:"shards"`
+	Draining   bool         `json:"draining"`
+	Accepted   uint64       `json:"conns_accepted"`
+	Requests   uint64       `json:"requests"`
+	Retries    uint64       `json:"retries"`
+	CrossShard uint64       `json:"cross_shard_rejects"`
+	Keys       uint64       `json:"keys"`
+	Txns       uint64       `json:"txns_committed"`
+	LogAppends uint64       `json:"log_appends"`
+	LogTrunc   uint64       `json:"log_truncated"`
+	FwbScans   uint64       `json:"fwb_scans"`
+	NVRAMBytes uint64       `json:"nvram_write_bytes"`
+	ShardStats []ShardStats `json:"shard_stats"`
+}
+
+// Stats gathers a consistent-enough snapshot: each shard answers a probe
+// between batches, so its counters are internally consistent.
+func (s *Server) Stats() (StatsSnapshot, error) {
+	snap := StatsSnapshot{
+		Addr:       s.Addr(),
+		Mode:       s.cfg.Mode,
+		Shards:     len(s.shards),
+		Draining:   s.draining.Load(),
+		Accepted:   s.accepted.Load(),
+		Requests:   s.requests.Load(),
+		Retries:    s.retries.Load(),
+		CrossShard: s.crossShard.Load(),
+	}
+	probes := make([]chan ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		probes[i] = make(chan ShardStats, 1)
+		if !sh.tryEnqueue(&request{stats: probes[i]}) {
+			return snap, fmt.Errorf("server: shard %d queue full", i)
+		}
+	}
+	for _, ch := range probes {
+		select {
+		case st := <-ch:
+			snap.ShardStats = append(snap.ShardStats, st)
+			snap.Keys += st.Keys
+			snap.Txns += st.Run.Transactions
+			snap.LogAppends += st.Run.LogAppends
+			snap.LogTrunc += st.Run.LogTruncated
+			snap.FwbScans += st.Run.FwbScans
+			snap.NVRAMBytes += st.Run.NVRAMWriteBytes
+		case <-s.dead:
+			return snap, fmt.Errorf("server: shutting down")
+		}
+	}
+	return snap, nil
+}
+
+func (s *Server) statsResponse() Response {
+	snap, err := s.Stats()
+	if err != nil {
+		s.retries.Add(1)
+		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return Response{Status: StatusErr, Err: err.Error()}
+	}
+	return Response{Status: StatusOK, Val: b}
+}
+
+// Shutdown drains gracefully: new requests are rejected with StatusRetry,
+// queued requests are answered, every shard takes a final image save, and
+// open connections are then closed. Safe to call once; Kill afterwards is
+// a no-op.
+func (s *Server) Shutdown() error {
+	var err error
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		s.ln.Close()
+		s.acceptWG.Wait()
+		for _, sh := range s.shards {
+			close(sh.stop)
+		}
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		s.deadOnce.Do(func() { close(s.dead) })
+		s.closeConns()
+		s.connWG.Wait()
+		s.cfg.Logger.Printf("pmserver: drained and stopped")
+	})
+	return err
+}
+
+// Kill is the hard-stop analogue of pulling the plug mid-traffic: the
+// listener and shard loops stop immediately, no final save is taken, and
+// unanswered requests error out (they were never acked). The on-disk
+// images keep whatever the last completed batch persisted.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() {
+		s.draining.Store(true)
+		s.ln.Close()
+		for _, sh := range s.shards {
+			close(sh.kill)
+		}
+		s.deadOnce.Do(func() { close(s.dead) })
+		s.acceptWG.Wait()
+		for _, sh := range s.shards {
+			<-sh.done
+		}
+		s.closeConns()
+		s.connWG.Wait()
+		s.cfg.Logger.Printf("pmserver: killed (no final save)")
+	})
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Keys reports the number of live keys per shard via stats probes (test
+// and tooling convenience).
+func (s *Server) Keys() (uint64, error) {
+	snap, err := s.Stats()
+	if err != nil {
+		return 0, err
+	}
+	return snap.Keys, nil
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pmemlog/internal/recovery"
+	"pmemlog/internal/sim"
+	"pmemlog/internal/stats"
+)
+
+// request is one unit of work queued to a shard: either a client Request
+// or an internal stats probe. Exactly one response is delivered on the
+// buffered channel, so a shard never blocks on a departed client.
+type request struct {
+	req   *Request
+	resp  chan Response   // client requests
+	stats chan ShardStats // stats probes
+}
+
+// ShardStats is one shard's slice of the stats endpoint snapshot.
+type ShardStats struct {
+	ID            int              `json:"id"`
+	Keys          uint64           `json:"keys"`
+	HeapUsedBytes uint64           `json:"heap_used_bytes"`
+	HeapSizeBytes uint64           `json:"heap_size_bytes"`
+	QueueLen      int              `json:"queue_len"`
+	QueueCap      int              `json:"queue_cap"`
+	Batches       uint64           `json:"batches"`
+	Saves         uint64           `json:"saves"`
+	Requests      uint64           `json:"requests"`
+	Run           stats.Run        `json:"run"`                // cumulative simulated-machine counters
+	Recovery      *recovery.Report `json:"recovery,omitempty"` // boot-time recovery, if the shard attached an image
+}
+
+// shard owns one simulated persistent-memory machine and serializes all
+// access to it: requests are batched off a bounded queue, each batch runs
+// as a sequence of transactions through the HWL/FWB pipeline, the NVRAM
+// DIMM image is atomically persisted, and only then are writes acked.
+type shard struct {
+	id       int
+	sys      *sim.System
+	st       *store
+	imgPath  string
+	queue    chan *request
+	stop     chan struct{} // graceful: drain queue, final save, exit
+	kill     chan struct{} // hard: exit without saving (power-cut analogue)
+	done     chan struct{} // closed when the loop exits
+	batchMax int
+
+	// Loop-owned counters (read by the loop itself for stats probes).
+	batches  uint64
+	saves    uint64
+	requests uint64
+	unsaved  bool             // writes committed since the last image save
+	bootRep  *recovery.Report // recovery report from attach, if any
+}
+
+// newShard builds (or re-attaches) one shard.
+func newShard(id int, cfg sim.Config, nBuckets uint64, dir string, queueDepth, batchMax int) (*shard, error) {
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: shard %d: %w", id, err)
+	}
+	sh := &shard{
+		id:       id,
+		sys:      sys,
+		imgPath:  filepath.Join(dir, fmt.Sprintf("shard-%03d.img", id)),
+		queue:    make(chan *request, queueDepth),
+		stop:     make(chan struct{}),
+		kill:     make(chan struct{}),
+		done:     make(chan struct{}),
+		batchMax: batchMax,
+	}
+	if f, err := os.Open(sh.imgPath); err == nil {
+		rep, err := sys.Attach(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: attach %s: %w", id, sh.imgPath, err)
+		}
+		if sh.st, err = attachStore(sys, nBuckets); err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", id, err)
+		}
+		sh.bootRep = &rep
+	} else if os.IsNotExist(err) {
+		if sh.st, err = createStore(sys, nBuckets); err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", id, err)
+		}
+		// Persist the empty image immediately so a kill before the first
+		// write still leaves a valid, attachable shard on disk.
+		if err := sh.save(); err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", id, err)
+		}
+	} else {
+		return nil, fmt.Errorf("server: shard %d: %w", id, err)
+	}
+	return sh, nil
+}
+
+// save persists the high-water mark and the DIMM image atomically. The
+// machine's volatile controller buffers are drained first so every
+// committed transaction's log records (and commit record) are in the
+// image — without this, recovery could roll back an acked write.
+func (sh *shard) save() error {
+	sh.sys.Quiesce()
+	sh.st.persistHighWater()
+	if err := sh.sys.NVRAMImage().WriteFile(sh.imgPath); err != nil {
+		return err
+	}
+	sh.saves++
+	sh.unsaved = false
+	return nil
+}
+
+// loop is the shard worker goroutine.
+func (sh *shard) loop() {
+	defer close(sh.done)
+	for {
+		select {
+		case <-sh.kill:
+			return
+		case <-sh.stop:
+			sh.drain()
+			return
+		case first := <-sh.queue:
+			sh.runBatch(sh.collect(first))
+		}
+	}
+}
+
+// collect gathers up to batchMax already-queued requests behind first.
+func (sh *shard) collect(first *request) []*request {
+	batch := []*request{first}
+	for len(batch) < sh.batchMax {
+		select {
+		case r := <-sh.queue:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain answers everything already queued, then takes a final save.
+func (sh *shard) drain() {
+	for {
+		select {
+		case r := <-sh.queue:
+			sh.runBatch(sh.collect(r))
+		default:
+			if sh.unsaved {
+				sh.save()
+			}
+			return
+		}
+	}
+}
+
+// runBatch executes one batch: every request's transaction(s) run on the
+// shard's machine in arrival order, the image is persisted if anything was
+// written, and only then are the responses released — the acked-durability
+// point.
+func (sh *shard) runBatch(batch []*request) {
+	sh.batches++
+	resps := make([]Response, len(batch))
+	wrote := false
+	runErr := sh.sys.RunN(func(ctx sim.Ctx, _ int) {
+		for i, r := range batch {
+			if r.req == nil {
+				continue // stats probe: answered after the batch
+			}
+			sh.requests++
+			resps[i] = sh.apply(ctx, r.req)
+			if resps[i].Status == StatusOK && r.req.Code != OpGet {
+				wrote = true
+			}
+		}
+	})
+	switch {
+	case runErr != nil:
+		// Machine fault (e.g. wedged log): the batch's effects are
+		// indeterminate, so nothing is acked as OK.
+		for i := range resps {
+			resps[i] = Response{Status: StatusErr, Err: "shard machine fault: " + runErr.Error()}
+		}
+	case wrote:
+		sh.unsaved = true
+		if err := sh.save(); err != nil {
+			// Commits happened on the simulated machine but the image did
+			// not persist: acking would break the durability contract.
+			for i, r := range batch {
+				if r.req != nil && r.req.Code != OpGet {
+					resps[i] = Response{Status: StatusErr, Err: "image save failed: " + err.Error()}
+				}
+			}
+		}
+	}
+	for i, r := range batch {
+		if r.stats != nil {
+			r.stats <- sh.snapshot()
+			continue
+		}
+		r.resp <- resps[i]
+	}
+}
+
+// apply executes one request inside the batch's worker.
+func (sh *shard) apply(ctx sim.Ctx, req *Request) Response {
+	switch req.Code {
+	case OpGet:
+		if v, ok := sh.st.get(ctx, req.Key); ok {
+			return Response{Status: StatusOK, Val: v}
+		}
+		return Response{Status: StatusNotFound}
+	case OpPut:
+		if err := sh.st.put(ctx, req.Key, req.Val); err != nil {
+			return Response{Status: StatusErr, Err: err.Error()}
+		}
+		return Response{Status: StatusOK}
+	case OpDel:
+		if sh.st.del(ctx, req.Key) {
+			return Response{Status: StatusOK}
+		}
+		return Response{Status: StatusNotFound}
+	case OpTxn:
+		if err := sh.st.txn(ctx, req.Ops); err != nil {
+			return Response{Status: StatusErr, Err: err.Error()}
+		}
+		return Response{Status: StatusOK}
+	}
+	return Response{Status: StatusErr, Err: "unroutable opcode"}
+}
+
+// snapshot assembles the shard's stats slice (loop goroutine only).
+func (sh *shard) snapshot() ShardStats {
+	return ShardStats{
+		ID:            sh.id,
+		Keys:          sh.st.keys,
+		HeapUsedBytes: sh.sys.Heap().Used(),
+		HeapSizeBytes: sh.sys.Heap().Size(),
+		QueueLen:      len(sh.queue),
+		QueueCap:      cap(sh.queue),
+		Batches:       sh.batches,
+		Saves:         sh.saves,
+		Requests:      sh.requests,
+		Run:           sh.sys.Stats(),
+		Recovery:      sh.bootRep,
+	}
+}
+
+// tryEnqueue offers a request to the bounded queue without blocking.
+func (sh *shard) tryEnqueue(r *request) bool {
+	select {
+	case sh.queue <- r:
+		return true
+	default:
+		return false
+	}
+}

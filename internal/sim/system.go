@@ -225,6 +225,24 @@ func (s *System) PokeBytes(addr mem.Addr, b []byte) {
 	}
 }
 
+// Quiesce drains the memory controller's volatile buffers (log write
+// buffer and write-combining buffer) into the NVRAM image. Commit returns
+// as soon as the commit record reaches the log buffer — battery-backed in
+// the paper's hardware, volatile here — so a service snapshotting the
+// image at a batch boundary must drain first or the snapshot could roll an
+// acknowledged transaction back on recovery. Caches need no flushing: with
+// undo+redo logging, a durable commit record makes the data recoverable by
+// redo (the paper's no-force property).
+func (s *System) Quiesce() {
+	var now uint64
+	for _, c := range s.cores {
+		if c.Now() > now {
+			now = c.Now()
+		}
+	}
+	s.ctl.DrainBuffers(now)
+}
+
 // Peek reads a word directly from the NVRAM image (verification only).
 func (s *System) Peek(addr mem.Addr) mem.Word { return s.nv.Image().ReadWord(addr) }
 
@@ -263,6 +281,41 @@ func (s *System) Reboot() error {
 	if !s.crashed {
 		return errors.New("sim: Reboot without a crash")
 	}
+	return s.rebuild()
+}
+
+// Attach re-attaches a persisted NVRAM image to this (freshly built,
+// never-run) machine: the image is loaded, the four-step recovery
+// procedure runs against it, and the volatile machine state is rebuilt
+// over the recovered image with the log resumed at the pointers recovery
+// persisted. It is the cross-process analogue of crash + Recover + Reboot:
+// a server restarting over a DIMM image saved by an earlier process.
+//
+// Attaching an image whose log was migrated by log_grow is not supported
+// (the resumed engine would reopen the abandoned region); size LogBytes so
+// the log never grows, or disable growing, when images are persisted.
+func (s *System) Attach(r io.Reader) (recovery.Report, error) {
+	if err := s.LoadNVRAM(r); err != nil {
+		return recovery.Report{}, err
+	}
+	rep, err := s.Recover()
+	if err != nil {
+		return rep, err
+	}
+	for _, hops := range rep.Hops {
+		if hops > 0 {
+			return rep, errors.New("sim: Attach of a grown-log image is unsupported")
+		}
+	}
+	if err := s.rebuild(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// rebuild reconstructs every volatile component over the current NVRAM
+// image (shared by Reboot and Attach).
+func (s *System) rebuild() error {
 	var err error
 	if s.ctl, err = memctl.New(s.cfg.Memctl, s.nv, s.dr); err != nil {
 		return err
@@ -448,6 +501,8 @@ func (s *System) Stats() stats.Run {
 		}
 		r.FwbForced += l2s.FwbForced
 		r.LogAppends = es.Records
+		r.LogTruncated = es.Truncated
+		r.LogGrows = es.Grows
 	}
 	if s.swLog != nil {
 		r.LogAppends = s.swLog.Stats().Appends

@@ -10,43 +10,51 @@ import (
 	"strings"
 )
 
-// Run is the metric bundle produced by one simulation.
+// Run is the metric bundle produced by one simulation. The JSON tags make
+// runs machine-readable across PRs (cmd/experiments -json) and snapshotable
+// by the pmserver stats endpoint.
 type Run struct {
-	Benchmark string
-	Mode      string
-	Threads   int
+	Benchmark string `json:"benchmark"`
+	Mode      string `json:"mode"`
+	Threads   int    `json:"threads"`
 
-	Cycles       uint64 // wall-clock cycles (max over threads)
-	Instructions uint64 // total retired instructions
-	Transactions uint64 // committed transactions
-	Seconds      float64
+	Cycles       uint64  `json:"cycles"`       // wall-clock cycles (max over threads)
+	Instructions uint64  `json:"instructions"` // total retired instructions
+	Transactions uint64  `json:"transactions"` // committed transactions
+	Seconds      float64 `json:"seconds"`
 
-	NVRAMReadBytes  uint64
-	NVRAMWriteBytes uint64
-	LogWriteBytes   uint64 // portion of NVRAM writes carrying log records
+	NVRAMReadBytes  uint64 `json:"nvram_read_bytes"`
+	NVRAMWriteBytes uint64 `json:"nvram_write_bytes"`
+	LogWriteBytes   uint64 `json:"log_write_bytes"` // portion of NVRAM writes carrying log records
 	// ResidualDirtyBytes is the steady-state correction for finite runs:
 	// dirty lines still cached at the end are deferred write-backs that a
 	// longer run would have paid; traffic comparisons include them so that
 	// designs which defer write-backs (no-force) are not falsely penalized
 	// against designs that never write anything back (unsafe baselines).
-	ResidualDirtyBytes uint64
+	ResidualDirtyBytes uint64 `json:"residual_dirty_bytes"`
 
-	MemEnergyPJ  float64
-	ProcEnergyPJ float64
+	MemEnergyPJ  float64 `json:"mem_energy_pj"`
+	ProcEnergyPJ float64 `json:"proc_energy_pj"`
 
 	// Transaction commit latencies in cycles (begin to commit-return);
 	// percentiles are the storage-facing view of fence/flush costs.
-	TxnLatencyP50 uint64
-	TxnLatencyP99 uint64
-	TxnLatencyMax uint64
+	TxnLatencyP50 uint64 `json:"txn_latency_p50"`
+	TxnLatencyP99 uint64 `json:"txn_latency_p99"`
+	TxnLatencyMax uint64 `json:"txn_latency_max"`
 
-	L1Hits, L1Misses uint64
-	L2Hits, L2Misses uint64
-	StallCycles      uint64
-	FwbScans         uint64
-	FwbForced        uint64
-	LogAppends       uint64
-	LogBufStalls     uint64
+	L1Hits       uint64 `json:"l1_hits"`
+	L1Misses     uint64 `json:"l1_misses"`
+	L2Hits       uint64 `json:"l2_hits"`
+	L2Misses     uint64 `json:"l2_misses"`
+	StallCycles  uint64 `json:"stall_cycles"`
+	FwbScans     uint64 `json:"fwb_scans"`
+	FwbForced    uint64 `json:"fwb_forced"`
+	LogAppends   uint64 `json:"log_appends"`
+	LogBufStalls uint64 `json:"log_buf_stalls"`
+	// LogTruncated / LogGrows count circular-log head advances and log_grow
+	// migrations — the "log wrap" pressure signal a service operator watches.
+	LogTruncated uint64 `json:"log_truncated"`
+	LogGrows     uint64 `json:"log_grows"`
 }
 
 // IPC returns instructions per cycle.
@@ -222,6 +230,25 @@ func (s *RunSet) Put(r Run) { s.runs[key(r.Benchmark, r.Mode, r.Threads)] = r }
 func (s *RunSet) Get(bench, mode string, threads int) (Run, bool) {
 	r, ok := s.runs[key(bench, mode, threads)]
 	return r, ok
+}
+
+// Runs returns every stored run, sorted by (benchmark, mode, threads) —
+// the stable order machine-readable dumps are written in.
+func (s *RunSet) Runs() []Run {
+	out := make([]Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		if out[i].Mode != out[j].Mode {
+			return out[i].Mode < out[j].Mode
+		}
+		return out[i].Threads < out[j].Threads
+	})
+	return out
 }
 
 // Benchmarks lists the distinct benchmark names, sorted.

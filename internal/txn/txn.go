@@ -94,6 +94,25 @@ func (m Mode) Spec() Spec { return specs[m] }
 // String returns the paper's name for the mode.
 func (m Mode) String() string { return specs[m].Name }
 
+// MarshalText encodes the mode as its paper name, making Mode usable in
+// JSON metadata (server boot manifests, machine-readable benchmark dumps).
+func (m Mode) MarshalText() ([]byte, error) {
+	if m < 0 || m >= numModes {
+		return nil, fmt.Errorf("txn: invalid mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText resolves a mode from its paper name.
+func (m *Mode) UnmarshalText(b []byte) error {
+	v, err := ParseMode(string(b))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // ParseMode resolves a mode by its paper name.
 func ParseMode(name string) (Mode, error) {
 	for i := Mode(0); i < numModes; i++ {

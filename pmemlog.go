@@ -16,6 +16,10 @@
 //     with and without clwb, hardware undo/redo bounds, hwl, fwb).
 //   - The five microbenchmarks of Table III and a WHISPER-like suite, and
 //     harness functions that regenerate every table and figure.
+//   - A sharded network KV service over the pipeline (internal/server,
+//     cmd/pmserver, cmd/pmload): writes are acknowledged only after their
+//     transactions commit and the shard's NVRAM DIMM image is durably on
+//     disk; restarts re-attach and recover via System.Attach.
 //
 // Quick start:
 //
