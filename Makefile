@@ -1,0 +1,33 @@
+# Convenience entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet pmlint ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = everything CI gates on besides the test suite.
+lint: fmt vet pmlint
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+pmlint:
+	$(GO) run ./cmd/pmlint ./...
+
+ci: build lint test race

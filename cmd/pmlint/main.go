@@ -1,0 +1,118 @@
+// Command pmlint runs the persistence-domain analyzers over the module,
+// in the spirit of a go/analysis multichecker:
+//
+//	go run ./cmd/pmlint ./...
+//
+// It exits 0 when the tree is clean, 1 when any finding survives the
+// //pmlint:allow filter, and 2 on usage or load errors. With -github it
+// emits GitHub Actions ::error annotations alongside the plain report,
+// so CI failures land on the offending line in the diff view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pmemlog/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("pmlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		only   = fs.String("only", "", "comma-separated subset of rules to run (default: all)")
+		github = fs.Bool("github", false, "also emit GitHub Actions ::error annotations")
+		list   = fs.Bool("list", false, "list the available rules and exit")
+		dir    = fs.String("C", ".", "change to `dir` before resolving package patterns")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: pmlint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(all, *only)
+	if err != nil {
+		fmt.Fprintf(errw, "pmlint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(errw, "pmlint: %v\n", err)
+		return 2
+	}
+
+	active := lint.RuleSet(analyzers)
+	known := lint.RuleSet(all)
+	findings := 0
+	suppressed := 0
+	for _, pkg := range pkgs {
+		diags := lint.RunAnalyzers(pkg, analyzers)
+		kept, n := lint.ApplyAllows(pkg.Fset, pkg.Files, diags, active, known)
+		suppressed += n
+		for _, d := range kept {
+			findings++
+			fmt.Fprintln(out, d.String())
+			if *github {
+				fmt.Fprintf(out, "::error file=%s,line=%d,col=%d::%s [%s]\n",
+					d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "pmlint: %d package(s), %d finding(s), %d suppressed by pmlint:allow\n",
+		len(pkgs), findings, suppressed)
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no rules")
+	}
+	return picked, nil
+}

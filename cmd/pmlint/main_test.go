@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is where this test runs relative to: cmd/pmlint → ../..
+const repoRoot = "../.."
+
+// TestCleanTree is the CI gate in test form: the shipped tree must carry
+// zero findings (modulo its reviewed pmlint:allow waivers).
+func TestCleanTree(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", repoRoot, "./..."}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("pmlint on the repo exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Fatalf("summary missing zero-findings count:\n%s", out.String())
+	}
+}
+
+// TestInjectedViolations builds a throwaway module that replaces pmemlog
+// with this repo, plants one violation per core rule, and demonstrates
+// that the gate fails — without ever dirtying the real tree.
+func TestInjectedViolations(t *testing.T) {
+	dir := t.TempDir()
+	abs, err := filepath.Abs(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module probe\n\ngo 1.22\n\nrequire pmemlog v0.0.0-00010101000000-000000000000\n\nreplace pmemlog => " + abs + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package main
+
+import "pmemlog"
+
+func corrupt(sys *pmemlog.System) {
+	sys.Poke(0, 1)
+}
+
+func leak(ctx pmemlog.Ctx) {
+	ctx.TxBegin()
+	ctx.Store(0, 1)
+}
+
+func main() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", dir, "-github", "./..."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("pmlint on planted violations exited %d, want 1:\n%s%s", code, out.String(), errw.String())
+	}
+	text := out.String()
+	for _, want := range []string{"[nobackdoor]", "[txnpair]", "::error file="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOnlyAndList exercises the flag surface: -list inventories the
+// suite, -only restricts it, and an unknown rule is a usage error.
+func TestOnlyAndList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"txnpair", "nobackdoor", "quiesceorder", "lockdiscipline"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list missing rule %s:\n%s", rule, out.String())
+		}
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-only", "nosuchrule", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("-only nosuchrule exited %d, want 2", code)
+	}
+
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-C", repoRoot, "-only", "quiesceorder", "./cmd/pmrecover"}, &out, &errw); code != 0 {
+		t.Fatalf("-only quiesceorder on cmd/pmrecover exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "1 suppressed") {
+		t.Fatalf("expected pmrecover's quiesceorder waiver to register as suppressed:\n%s", out.String())
+	}
+}

@@ -175,6 +175,7 @@ func runOnce(mode pmemlog.Mode, benchName string, threads, txns int, crashAt uin
 		if err != nil {
 			return 0, err
 		}
+		//pmlint:allow quiesceorder -- deliberately saving a mid-crash image; quiescing would destroy the evidence
 		if err := sys.SaveNVRAM(f); err != nil {
 			f.Close()
 			return 0, err

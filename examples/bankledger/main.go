@@ -36,8 +36,9 @@ func newLedger(sys *pmemlog.System) (*ledger, error) {
 	if err != nil {
 		return nil, err
 	}
+	setup := sys.SetupCtx()
 	for i := 0; i < accounts; i++ {
-		sys.Poke(base+pmemlog.Addr(i*8), initialBalance)
+		setup.Store(base+pmemlog.Addr(i*8), initialBalance)
 	}
 	return &ledger{sys: sys, base: base}, nil
 }

@@ -36,8 +36,9 @@ func newStore(sys *pmemlog.System) (*store, error) {
 	if err != nil {
 		return nil, err
 	}
+	setup := sys.SetupCtx()
 	for i := 0; i < nBuckets; i++ {
-		sys.Poke(b+pmemlog.Addr(i*8), 0)
+		setup.Store(b+pmemlog.Addr(i*8), 0)
 	}
 	return &store{sys: sys, buckets: b}, nil
 }

@@ -35,8 +35,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys.Poke(a, 0)
-	sys.Poke(b, 0)
+	setup := sys.SetupCtx()
+	setup.Store(a, 0)
+	setup.Store(b, 0)
 
 	// Crash the machine mid-run.
 	const crashAt = 100_000

@@ -113,9 +113,8 @@ func storeValue(ctx sim.Ctx, addr mem.Addr, words int, key uint64) {
 	}
 }
 
-// pokeValue writes the same payload during untimed setup.
+// pokeValue writes the same payload during untimed setup, through the
+// sanctioned population context.
 func pokeValue(s *sim.System, addr mem.Addr, words int, key uint64) {
-	for i := 0; i < words; i++ {
-		s.Poke(addr+mem.Addr(i*mem.WordSize), mem.Word(key*0x9e3779b97f4a7c15+uint64(i)))
-	}
+	storeValue(s.SetupCtx(), addr, words, key)
 }

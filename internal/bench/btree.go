@@ -60,8 +60,8 @@ func (b *BTree) Setup(s *sim.System) error {
 			return fmt.Errorf("btree: %w", err)
 		}
 		b.roots[t] = hdr
-		s.Poke(leaf, packMeta(true, 0))
-		s.Poke(hdr, mem.Word(leaf))
+		setup.Store(leaf, packMeta(true, 0))
+		setup.Store(hdr, mem.Word(leaf))
 	}
 	per := uint64(b.cfg.Elements) / uint64(b.cfg.Threads)
 	for t := 0; t < b.cfg.Threads; t++ {

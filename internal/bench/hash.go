@@ -64,8 +64,9 @@ func (h *Hash) Setup(s *sim.System) error {
 		return fmt.Errorf("hash: %w", err)
 	}
 	h.buckets = b
+	setup := s.SetupCtx()
 	for i := 0; i < h.nBuckets; i++ {
-		s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+		setup.Store(b+mem.Addr(i*mem.WordSize), 0)
 	}
 	// Populate every other key (untimed).
 	for key := uint64(0); key < uint64(h.cfg.Elements); key += 2 {
@@ -75,10 +76,10 @@ func (h *Hash) Setup(s *sim.System) error {
 		}
 		bkt := h.bucketOf(key)
 		head := s.Peek(bkt)
-		s.Poke(node+hnodeKey*mem.WordSize, mem.Word(key))
-		s.Poke(node+hnodeNext*mem.WordSize, head)
+		setup.Store(node+hnodeKey*mem.WordSize, mem.Word(key))
+		setup.Store(node+hnodeNext*mem.WordSize, head)
 		pokeValue(s, node+hnodeVal*mem.WordSize, h.cfg.Values.ValueWords(), key)
-		s.Poke(bkt, mem.Word(node))
+		setup.Store(bkt, mem.Word(node))
 	}
 	return nil
 }

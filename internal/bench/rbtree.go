@@ -70,8 +70,8 @@ func (r *RBTree) Setup(s *sim.System) error {
 		}
 		r.roots[t] = hdr
 		r.nils[t] = nilNode
-		s.Poke(nilNode+rbColor*mem.WordSize, rbBlack)
-		s.Poke(hdr, mem.Word(nilNode)) // empty tree: root = NIL
+		setup.Store(nilNode+rbColor*mem.WordSize, rbBlack)
+		setup.Store(hdr, mem.Word(nilNode)) // empty tree: root = NIL
 	}
 	n := uint64(r.cfg.Elements)
 	per := n / uint64(r.cfg.Threads)

@@ -51,12 +51,12 @@ func (g *SSCA2) Setup(s *sim.System) error {
 		return fmt.Errorf("ssca2: %w", err)
 	}
 	g.vertices = base
+	setup := s.SetupCtx()
 	for v := 0; v < g.nVerts; v++ {
-		s.Poke(g.vertex(v), 0)              // degree
-		s.Poke(g.vertex(v)+mem.WordSize, 0) // metric
+		setup.Store(g.vertex(v), 0)              // degree
+		setup.Store(g.vertex(v)+mem.WordSize, 0) // metric
 	}
 	rng := rand.New(rand.NewSource(g.cfg.Seed + 99))
-	setup := s.SetupCtx()
 	per := g.nVerts / g.cfg.Threads
 	for v := 0; v < g.nVerts; v++ {
 		deg := rng.Intn(ssEdgeCap / 2)

@@ -255,6 +255,7 @@ func New(cfg Config, ctl *memctl.Controller, hier *cache.Hierarchy) (*Engine, er
 	// log_create blocks until the initial metadata is durable before the
 	// program starts, so it is applied directly (setup time, untracked).
 	for _, w := range init {
+		//pmlint:allow nobackdoor -- log_create: initial metadata is durable before any transaction exists
 		e.ctl.NVRAM().Image().Write(w.Addr, w.Bytes)
 	}
 	return e, nil

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//pmlint:allow rule[,rule...] [-- reason]
+//
+// placed on the offending line or on the line directly above suppresses
+// exactly one finding of each named rule. The narrowness is deliberate —
+// an allow is a reviewed, single-site waiver of a persistence invariant,
+// not a blanket opt-out — so a directive that suppresses nothing is
+// itself reported (rule "allow"), keeping stale waivers from surviving
+// refactors.
+
+// AllowRule is the pseudo-rule under which directive problems (unused or
+// unknown-rule allows) are reported. It cannot itself be allowed.
+const AllowRule = "allow"
+
+type allowDirective struct {
+	pos   token.Position
+	rules []string
+}
+
+// parseAllows extracts every pmlint:allow directive from the files'
+// comments.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue
+				}
+				body := strings.TrimLeft(c.Text[2:], " \t")
+				if !strings.HasPrefix(body, "pmlint:allow") {
+					continue
+				}
+				text := body[len("pmlint:allow"):]
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // e.g. pmlint:allowlist — not this directive
+				}
+				if reason := strings.Index(text, "--"); reason >= 0 {
+					text = text[:reason]
+				}
+				var rules []string
+				for _, field := range strings.FieldsFunc(text, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					rules = append(rules, field)
+				}
+				out = append(out, &allowDirective{pos: fset.Position(c.Pos()), rules: rules})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyAllows filters diags through the files' pmlint:allow directives.
+// active is the set of rules that ran this invocation; known is the full
+// suite (so a partial run neither misfires "unused" nor accepts typos).
+// It returns the surviving findings — including new findings for broken
+// directives — and the number suppressed.
+func ApplyAllows(fset *token.FileSet, files []*ast.File, diags []Diagnostic, active, known map[string]bool) ([]Diagnostic, int) {
+	suppressedIdx := make([]bool, len(diags))
+	suppressed := 0
+	var extra []Diagnostic
+
+	for _, d := range parseAllows(fset, files) {
+		if len(d.rules) == 0 {
+			extra = append(extra, Diagnostic{Pos: d.pos, Rule: AllowRule,
+				Message: "pmlint:allow directive names no rule"})
+			continue
+		}
+		usedAny := false
+		allActive := true
+		for _, rule := range d.rules {
+			if !known[rule] {
+				extra = append(extra, Diagnostic{Pos: d.pos, Rule: AllowRule,
+					Message: "pmlint:allow names unknown rule \"" + rule + "\""})
+				allActive = false
+				continue
+			}
+			if !active[rule] {
+				allActive = false
+				continue
+			}
+			// Suppress exactly one finding of this rule, on the directive's
+			// own line (trailing comment) or the next line (standalone).
+			for i, diag := range diags {
+				if suppressedIdx[i] || diag.Rule != rule || diag.Pos.Filename != d.pos.Filename {
+					continue
+				}
+				if diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1 {
+					suppressedIdx[i] = true
+					suppressed++
+					usedAny = true
+					break
+				}
+			}
+		}
+		if !usedAny && allActive {
+			extra = append(extra, Diagnostic{Pos: d.pos, Rule: AllowRule,
+				Message: "unused pmlint:allow directive (suppresses nothing on this or the next line)"})
+		}
+	}
+
+	var kept []Diagnostic
+	for i, diag := range diags {
+		if !suppressedIdx[i] {
+			kept = append(kept, diag)
+		}
+	}
+	kept = append(kept, extra...)
+	SortDiagnostics(kept)
+	return kept, suppressed
+}
+
+// RuleSet builds membership sets for ApplyAllows from analyzer lists.
+func RuleSet(analyzers []*Analyzer) map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.Name] = true
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestAllowFixture exercises the escape hatch end to end through the
+// same pipeline the driver uses: trailing and standalone placement,
+// next-line-only scope, inactive-rule directives, unused directives, and
+// unknown rule names.
+func TestAllowFixture(t *testing.T) {
+	RunFixture(t, Nobackdoor, "allowfix")
+}
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func diagAt(line int, rule string) Diagnostic {
+	return Diagnostic{
+		Pos:     token.Position{Filename: "allow.go", Line: line, Column: 1},
+		Rule:    rule,
+		Message: "finding",
+	}
+}
+
+var allowRules = map[string]bool{"nobackdoor": true, "quiesceorder": true}
+
+// TestAllowSuppressesExactlyOne pins the narrowness contract: two
+// findings of the allowed rule on the covered line, one directive —
+// exactly one survives.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//pmlint:allow nobackdoor
+var x = 1
+`)
+	diags := []Diagnostic{diagAt(4, "nobackdoor"), diagAt(4, "nobackdoor")}
+	kept, suppressed := ApplyAllows(fset, files, diags, allowRules, allowRules)
+	if suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Rule != "nobackdoor" {
+		t.Fatalf("kept = %v, want the one unsuppressed finding", kept)
+	}
+}
+
+// TestAllowIsRuleScoped: a directive for one rule does not touch another
+// rule's finding on the same line.
+func TestAllowIsRuleScoped(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//pmlint:allow nobackdoor
+var x = 1
+`)
+	diags := []Diagnostic{diagAt(4, "quiesceorder")}
+	kept, suppressed := ApplyAllows(fset, files, diags, allowRules, allowRules)
+	if suppressed != 0 {
+		t.Fatalf("suppressed = %d, want 0", suppressed)
+	}
+	// The quiesceorder finding survives AND the directive is unused.
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v, want surviving finding + unused-directive finding", kept)
+	}
+	foundUnused := false
+	for _, d := range kept {
+		if d.Rule == AllowRule && strings.Contains(d.Message, "unused") {
+			foundUnused = true
+		}
+	}
+	if !foundUnused {
+		t.Fatalf("kept = %v, want an unused-directive finding", kept)
+	}
+}
+
+// TestAllowMultiRuleDirective: one directive may waive two different
+// rules on the same line, one finding each.
+func TestAllowMultiRuleDirective(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//pmlint:allow nobackdoor,quiesceorder -- both waived here
+var x = 1
+`)
+	diags := []Diagnostic{diagAt(4, "nobackdoor"), diagAt(4, "quiesceorder")}
+	kept, suppressed := ApplyAllows(fset, files, diags, allowRules, allowRules)
+	if suppressed != 2 {
+		t.Fatalf("suppressed = %d, want 2", suppressed)
+	}
+	if len(kept) != 0 {
+		t.Fatalf("kept = %v, want none", kept)
+	}
+}
+
+// TestAllowDoesNotReachFartherLines: a directive two lines above the
+// finding suppresses nothing and is reported unused.
+func TestAllowDoesNotReachFartherLines(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//pmlint:allow nobackdoor
+
+var x = 1
+`)
+	diags := []Diagnostic{diagAt(5, "nobackdoor")}
+	kept, suppressed := ApplyAllows(fset, files, diags, allowRules, allowRules)
+	if suppressed != 0 {
+		t.Fatalf("suppressed = %d, want 0", suppressed)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v, want surviving finding + unused-directive finding", kept)
+	}
+}

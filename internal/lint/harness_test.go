@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is pmlint's analogue of go/analysis/analysistest: fixtures
+// under testdata/src/<path> are loaded as packages (imports resolve
+// against testdata/src first, then the standard library), one analyzer
+// runs over the target package through the same //pmlint:allow pipeline
+// the driver uses, and findings are matched against expectations written
+// as `// want "regexp"` comments on the offending lines.
+
+// RunFixture loads testdata/src/<pkgPath>, runs analyzer a (and the
+// allow layer), and reports every mismatch between findings and the
+// fixture's want-comments as test errors.
+func RunFixture(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newFixtureLoader(filepath.Join("testdata", "src"))
+	pkg, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	kept, _ := ApplyAllows(pkg.Fset, pkg.Files, diags,
+		map[string]bool{a.Name: true}, RuleSet(Analyzers()))
+
+	exps := parseWants(t, pkg)
+	for _, d := range kept {
+		if !consumeWant(exps, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// want is one expectation from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRE   = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+func consumeWant(exps []*want, d Diagnostic) bool {
+	for _, e := range exps {
+		if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureLoader resolves imports against testdata/src before falling
+// back to compiled standard-library export data, mirroring how
+// analysistest roots a GOPATH at the fixture tree.
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*Package
+	std   *stdImporter
+}
+
+func newFixtureLoader(root string) *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		root:  root,
+		fset:  fset,
+		cache: make(map[string]*Package),
+		std:   newStdImporter(fset, "."),
+	}
+}
+
+// Import implements types.Importer for fixture packages.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at root/path.
+func (l *fixtureLoader) load(path string) (*Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files", path)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	p := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = p
+	return p, nil
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Load type-checks every main-module package matching patterns (e.g.
+// "./...") rooted at dir. It shells out to `go list -deps -export` once
+// for package discovery and for the compiled export data of standard
+// library dependencies, then parses and type-checks module packages from
+// source. Only the non-test compilation unit is loaded: _test.go files
+// are the sanctioned home of raw-NVRAM backdoors and deliberately
+// unquiesced crash images, so pmlint's contract applies to what ships.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	ld := &moduleLoader{
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*listPkg),
+		checked: make(map[string]*Package),
+		exports: make(map[string]string),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		lp := p
+		ld.pkgs[lp.ImportPath] = &lp
+		ld.exports[lp.ImportPath] = lp.Export
+		order = append(order, &lp)
+	}
+
+	var result []*Package
+	for _, lp := range order {
+		if lp.Standard || lp.Module == nil || !lp.Module.Main {
+			continue
+		}
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, pkg)
+	}
+	return result, nil
+}
+
+// moduleLoader type-checks module packages from source, importing
+// standard-library dependencies from compiled export data.
+type moduleLoader struct {
+	fset    *token.FileSet
+	pkgs    map[string]*listPkg
+	checked map[string]*Package
+	exports map[string]string
+	std     types.Importer
+}
+
+// lookupExport feeds the gc importer the export file `go list -export`
+// reported for a dependency.
+func (ld *moduleLoader) lookupExport(path string) (io.ReadCloser, error) {
+	f, ok := ld.exports[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Import implements types.Importer over the mixed source/export world.
+func (ld *moduleLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ld.checked[path]; ok {
+		return p.Types, nil
+	}
+	if lp, ok := ld.pkgs[path]; ok && !lp.Standard && lp.Module != nil && lp.Module.Main {
+		p, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// check parses and type-checks one module package from source.
+func (ld *moduleLoader) check(lp *listPkg) (*Package, error) {
+	if p, ok := ld.checked[lp.ImportPath]; ok {
+		return p, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(lp.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	p := &Package{Path: lp.ImportPath, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.checked[lp.ImportPath] = p
+	return p, nil
+}
+
+// stdImporter imports standard-library packages from compiled export
+// data, materialized lazily with `go list -export` (the build cache makes
+// repeat calls cheap). Used by the fixture harness, where the target
+// package is not part of any `go list`-visible module.
+type stdImporter struct {
+	dir     string
+	exports map[string]string
+	listed  map[string]bool
+	gc      types.Importer
+}
+
+func newStdImporter(fset *token.FileSet, dir string) *stdImporter {
+	si := &stdImporter{dir: dir, exports: make(map[string]string), listed: make(map[string]bool)}
+	si.gc = importer.ForCompiler(fset, "gc", si.lookup)
+	return si
+}
+
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return si.gc.Import(path)
+}
+
+func (si *stdImporter) lookup(path string) (io.ReadCloser, error) {
+	if err := si.ensure(path); err != nil {
+		return nil, err
+	}
+	f, ok := si.exports[path]
+	if !ok || f == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// ensure runs `go list -deps -export` for path once, recording export
+// files for it and its whole dependency closure.
+func (si *stdImporter) ensure(path string) error {
+	if si.listed[path] {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	cmd.Dir = si.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("lint: go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		si.exports[p.ImportPath] = p.Export
+		si.listed[p.ImportPath] = true
+	}
+	si.listed[path] = true
+	return nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

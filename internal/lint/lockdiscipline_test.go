@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockdisciplineFixture(t *testing.T) {
+	RunFixture(t, Lockdiscipline, "lockdiscipline")
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Import paths of the packages whose APIs the analyzers key on.
+const (
+	simPkg   = "pmemlog/internal/sim"
+	memPkg   = "pmemlog/internal/mem"
+	corePkg  = "pmemlog/internal/core"
+	pheapPkg = "pmemlog/internal/pheap"
+)
+
+// Nobackdoor confines raw mutation of persistent state to the machine
+// layers and recovery. Everywhere else, a store that does not flow
+// through a transaction Ctx (and so through the hardware undo+redo log)
+// is invisible to recovery: after a crash it may be silently rolled back
+// or, worse, survive half-applied. Population code has a sanctioned
+// untimed path — System.SetupCtx — that records writes in the oracle.
+var Nobackdoor = &Analyzer{
+	Name: "nobackdoor",
+	Doc:  "raw NVRAM/persistent-heap mutation (Poke, Physical.WriteWord, Heap.SetUsed, ...) only in machine layers, recovery, and tests",
+	Run:  runNobackdoor,
+}
+
+// nobackdoorExempt lists the packages that ARE the machine or its
+// recovery procedure: below the logged-store pipeline there is nothing to
+// bypass. _test.go files are exempt by construction (the loader checks
+// the non-test compilation unit).
+var nobackdoorExempt = map[string]bool{
+	simPkg:                      true, // owns Poke/SetupCtx and replays images
+	memPkg:                      true, // the physical image itself
+	"pmemlog/internal/nvram":    true, // DIMM model under the controller
+	"pmemlog/internal/memctl":   true, // the controller's drain path
+	"pmemlog/internal/recovery": true, // log replay writes the image by design
+}
+
+// backdoor describes one raw-mutation entry point.
+type backdoor struct {
+	pkg, recv, name string
+	advice          string
+}
+
+var backdoors = []backdoor{
+	{simPkg, "System", "Poke", "route population through System.SetupCtx, or run a transaction"},
+	{simPkg, "System", "PokeBytes", "route population through System.SetupCtx, or run a transaction"},
+	{memPkg, "Physical", "WriteWord", "stores must go through a transaction Ctx so the HWL engine logs them"},
+	{memPkg, "Physical", "Write", "stores must go through a transaction Ctx so the HWL engine logs them"},
+	{memPkg, "Physical", "CopyFrom", "image replacement belongs to sim.System.LoadNVRAM/Attach"},
+	{pheapPkg, "Heap", "SetUsed", "allocator occupancy may only be re-derived when (re)attaching a recovered image"},
+}
+
+func runNobackdoor(pass *Pass) {
+	if nobackdoorExempt[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Info, call)
+			for _, b := range backdoors {
+				if isFunc(fn, b.pkg, b.recv, b.name) {
+					pass.Reportf(call.Pos(),
+						"(%s).%s mutates persistent state behind the undo+redo log; %s",
+						b.recv, b.name, b.advice)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestNobackdoorFixture(t *testing.T) {
+	RunFixture(t, Nobackdoor, "nobackdoor")
+}
+
+// TestNobackdoorExemptsRecovery runs the analyzer over a stub of the
+// recovery package — full of raw image writes — and expects silence:
+// log replay is the sanctioned writer of last resort.
+func TestNobackdoorExemptsRecovery(t *testing.T) {
+	RunFixture(t, Nobackdoor, "pmemlog/internal/recovery")
+}

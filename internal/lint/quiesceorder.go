@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Quiesceorder mirrors the log-buffer-drain-before-snapshot rule: commit
+// returns as soon as the commit record reaches the (battery-backed in
+// hardware, volatile here) log write buffer, so a process that persists
+// the DIMM image without first draining the controller's buffers can
+// write an image in which an acknowledged transaction's commit record is
+// missing — recovery would roll the acked write back. Any call that
+// persists an image must therefore be preceded by System.Quiesce in the
+// same function. Crash tooling that deliberately snapshots a powered-off
+// machine annotates the save with //pmlint:allow quiesceorder.
+var Quiesceorder = &Analyzer{
+	Name: "quiesceorder",
+	Doc:  "persisting a DIMM image (SaveNVRAM, Physical.WriteFile/WriteTo) requires a preceding System.Quiesce in the same function",
+	Run:  runQuiesceorder,
+}
+
+// quiesceExempt: the machine layers own both sides of the contract.
+var quiesceExempt = map[string]bool{
+	simPkg: true, // SaveNVRAM itself lives here
+	memPkg: true, // WriteFile is implemented atop WriteTo here
+}
+
+// imageSink describes one image-persisting call.
+type imageSink struct{ pkg, recv, name string }
+
+var imageSinks = []imageSink{
+	{simPkg, "System", "SaveNVRAM"},
+	{memPkg, "Physical", "WriteFile"},
+	{memPkg, "Physical", "WriteTo"},
+}
+
+func runQuiesceorder(pass *Pass) {
+	if quiesceExempt[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, fd := range funcScopes(file) {
+			checkQuiesceOrder(pass, fd)
+		}
+	}
+}
+
+// checkQuiesceOrder requires, for every image-persisting call, a
+// System.Quiesce call lexically earlier in the same function body. This
+// is a source-order approximation of dominance; it accepts a Quiesce in a
+// branch the save might not follow, but catches the real failure mode —
+// a save path with no drain anywhere before it.
+func checkQuiesceOrder(pass *Pass, fd *ast.FuncDecl) {
+	var quiesces []token.Pos
+	type sink struct {
+		pos  token.Pos
+		recv string
+		name string
+	}
+	var sinks []sink
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if isFunc(fn, simPkg, "System", "Quiesce") {
+			quiesces = append(quiesces, call.Pos())
+			return true
+		}
+		for _, s := range imageSinks {
+			if isFunc(fn, s.pkg, s.recv, s.name) {
+				sinks = append(sinks, sink{pos: call.Pos(), recv: s.recv, name: s.name})
+				break
+			}
+		}
+		return true
+	})
+	for _, s := range sinks {
+		drained := false
+		for _, q := range quiesces {
+			if q < s.pos {
+				drained = true
+				break
+			}
+		}
+		if !drained {
+			pass.Reportf(s.pos,
+				"%s persists a DIMM image via (%s).%s without a preceding System.Quiesce; un-drained log-buffer records (acked commits) would be missing from the image",
+				funcName(fd), s.recv, s.name)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestQuiesceorderFixture(t *testing.T) {
+	RunFixture(t, Quiesceorder, "quiesceorder")
+}

@@ -1,0 +1,41 @@
+// Fixtures for the //pmlint:allow escape hatch: a directive suppresses
+// exactly one finding on its own line or the next line, an unused
+// directive is itself a finding, and unknown rule names are rejected.
+package allowfix
+
+import (
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+)
+
+func allowedTrailing(s *sim.System, a mem.Addr) {
+	s.Poke(a, 1) //pmlint:allow nobackdoor -- fixture: sanctioned population
+}
+
+func allowedStandalone(s *sim.System, a mem.Addr) {
+	//pmlint:allow nobackdoor -- fixture: sanctioned population
+	s.Poke(a, 1)
+}
+
+func allowDoesNotLeak(s *sim.System, a mem.Addr) {
+	//pmlint:allow nobackdoor -- covers only the next line
+	s.Poke(a, 1)
+	s.Poke(a, 2) // want "\\(System\\).Poke mutates persistent state"
+}
+
+func allowWrongRule(s *sim.System, a mem.Addr) {
+	//pmlint:allow quiesceorder -- inactive rule here: suppresses nothing, reported unused? no: quiesceorder did not run
+	s.Poke(a, 1) // want "\\(System\\).Poke mutates persistent state"
+}
+
+func unusedAllow(s *sim.System, a mem.Addr) {
+	//pmlint:allow nobackdoor -- stale directive: want "unused pmlint:allow directive"
+	_ = s
+	_ = a
+}
+
+func unknownRule(s *sim.System, a mem.Addr) {
+	//pmlint:allow nosuchrule -- typo: want "unknown rule"
+	_ = s
+	_ = a
+}

@@ -1,0 +1,13 @@
+// Package core stubs the hardware logging engine for pmlint fixtures.
+package core
+
+// Tx is one hardware transaction's handle.
+type Tx struct{}
+
+func (t *Tx) TxID() uint16 { return 0 }
+
+// Engine is the undo+redo logging engine.
+type Engine struct{}
+
+func (e *Engine) Begin(now uint64, threadID uint8) (*Tx, error) { return &Tx{}, nil }
+func (e *Engine) Commit(now uint64, tx *Tx) (uint64, error)     { return now, nil }

@@ -1,0 +1,11 @@
+// Package pheap stubs the persistent-heap allocator for pmlint fixtures.
+package pheap
+
+import "pmemlog/internal/mem"
+
+// Heap is the bump allocator over an NVRAM region.
+type Heap struct{}
+
+func (h *Heap) Alloc(n uint64) (mem.Addr, error) { return 0, nil }
+func (h *Heap) Used() uint64                     { return 0 }
+func (h *Heap) SetUsed(n uint64) error           { return nil }

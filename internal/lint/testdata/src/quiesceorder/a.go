@@ -1,0 +1,48 @@
+// Fixtures for the quiesceorder analyzer: image saves without a
+// preceding buffer drain, and the drained shapes that must pass.
+package quiesceorder
+
+import (
+	"io"
+
+	"pmemlog/internal/sim"
+)
+
+func unsafeSave(s *sim.System, w io.Writer) error {
+	return s.SaveNVRAM(w) // want "without a preceding System.Quiesce"
+}
+
+func safeSave(s *sim.System, w io.Writer) error {
+	s.Quiesce()
+	return s.SaveNVRAM(w)
+}
+
+func unsafeWriteFile(s *sim.System) error {
+	return s.NVRAMImage().WriteFile("shard.img") // want "\\(Physical\\).WriteFile without a preceding System.Quiesce"
+}
+
+func safeWriteFile(s *sim.System) error {
+	s.Quiesce()
+	return s.NVRAMImage().WriteFile("shard.img")
+}
+
+func unsafeWriteTo(s *sim.System, w io.Writer) error {
+	_, err := s.NVRAMImage().WriteTo(w) // want "\\(Physical\\).WriteTo without a preceding System.Quiesce"
+	return err
+}
+
+// quiesceAfterIsTooLate: draining after the bytes left does not help.
+func quiesceAfterIsTooLate(s *sim.System, w io.Writer) error {
+	err := s.SaveNVRAM(w) // want "without a preceding System.Quiesce"
+	s.Quiesce()
+	return err
+}
+
+// drainedInBranch is accepted by the lexical approximation: a Quiesce
+// appears earlier in the function, even though on a branch.
+func drainedInBranch(s *sim.System, w io.Writer, dirty bool) error {
+	if dirty {
+		s.Quiesce()
+	}
+	return s.SaveNVRAM(w)
+}

@@ -1,0 +1,96 @@
+// Fixtures for the txnpair analyzer: leaked TxBegin, dropped
+// Engine.Begin handles, and the paired/handed-off shapes that must pass.
+package txnpair
+
+import (
+	"pmemlog/internal/core"
+	"pmemlog/internal/sim"
+)
+
+func leaks(ctx sim.Ctx) {
+	ctx.TxBegin() // want "opens 1 transaction"
+	ctx.Store(0, 1)
+}
+
+func leaksOneOfTwo(ctx sim.Ctx) {
+	ctx.TxBegin() // want "opens 2 transaction"
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+	ctx.TxBegin()
+	ctx.Store(0, 2)
+}
+
+func paired(ctx sim.Ctx) {
+	ctx.TxBegin()
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+}
+
+func pairedDefer(ctx sim.Ctx) {
+	ctx.TxBegin()
+	defer ctx.TxCommit()
+	ctx.Store(0, 1)
+}
+
+func pairedInClosure(s *sim.System) {
+	s.RunN(func(ctx sim.Ctx, id int) {
+		ctx.TxBegin()
+		ctx.Store(0, 1)
+		ctx.TxCommit()
+	})
+}
+
+func committedByDeferredClosure(ctx sim.Ctx) {
+	ctx.TxBegin()
+	defer func() { ctx.TxCommit() }()
+	ctx.Store(0, 1)
+}
+
+// tracer forwards sim.Ctx calls to a wrapped context, the shape of
+// trace recorders and fault injectors. Its TxBegin/TxCommit methods are
+// delegation, not opened transactions; neither may be flagged.
+type tracer struct{ inner sim.Ctx }
+
+func (t tracer) TxBegin()  { t.inner.TxBegin() }
+func (t tracer) TxCommit() { t.inner.TxCommit() }
+
+func discards(e *core.Engine) {
+	e.Begin(0, 0) // want "discards the transaction handle"
+}
+
+func blankHandle(e *core.Engine) (err error) {
+	_, err = e.Begin(0, 0) // want "assigns the Engine.Begin transaction handle to _"
+	return err
+}
+
+func blankWashed(e *core.Engine) {
+	tx, _ := e.Begin(0, 0) // want "never meaningfully uses transaction handle \"tx\""
+	_ = tx
+}
+
+func enginePaired(e *core.Engine) error {
+	tx, err := e.Begin(0, 0)
+	if err != nil {
+		return err
+	}
+	_, err = e.Commit(1, tx)
+	return err
+}
+
+type session struct{ tx *core.Tx }
+
+// handedOff parks the handle in a struct for a later commit — the
+// pattern sim's threadCtx uses; must not be flagged.
+func (s *session) handedOff(e *core.Engine) error {
+	tx, err := e.Begin(0, 0)
+	if err != nil {
+		return err
+	}
+	s.tx = tx
+	return nil
+}
+
+func returned(e *core.Engine) (*core.Tx, error) {
+	tx, err := e.Begin(0, 0)
+	return tx, err
+}

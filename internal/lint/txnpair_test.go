@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestTxnpairFixture(t *testing.T) {
+	RunFixture(t, Txnpair, "txnpair")
+}

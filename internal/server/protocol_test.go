@@ -45,7 +45,7 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	bad := []*Request{
-		{Code: OpGet},                             // empty key
+		{Code: OpGet}, // empty key
 		{Code: OpPut, Key: bytes.Repeat([]byte("k"), MaxKeyLen+1)}, // oversized key
 		{Code: OpPut, Key: []byte("k"), Val: make([]byte, MaxValueLen+1)},
 		{Code: OpTxn, Ops: make([]Op, MaxTxnOps+1)},

@@ -84,10 +84,11 @@ func createStore(sys *sim.System, nBuckets uint64) (*store, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys.Poke(st.root+rootOffMagic, storeMagic)
-	sys.Poke(st.root+rootOffVersion, storeVersion)
-	sys.Poke(st.root+rootOffBuckets, mem.Word(nBuckets))
-	sys.Poke(st.root+rootOffUsed, mem.Word(sys.Heap().Used()))
+	setup := sys.SetupCtx()
+	setup.Store(st.root+rootOffMagic, storeMagic)
+	setup.Store(st.root+rootOffVersion, storeVersion)
+	setup.Store(st.root+rootOffBuckets, mem.Word(nBuckets))
+	setup.Store(st.root+rootOffUsed, mem.Word(sys.Heap().Used()))
 	return st, nil
 }
 
@@ -110,6 +111,7 @@ func attachStore(sys *sim.System, nBuckets uint64) (*store, error) {
 		return nil, fmt.Errorf("server: image has %d buckets, server configured for %d", got, nBuckets)
 	}
 	used := uint64(sys.Peek(st.root + rootOffUsed))
+	//pmlint:allow nobackdoor -- re-attach derives allocator occupancy from the recovered image's persisted mark
 	if err := sys.Heap().SetUsed(used); err != nil {
 		return nil, fmt.Errorf("server: persisted heap high-water mark: %w", err)
 	}
@@ -134,6 +136,7 @@ func attachStore(sys *sim.System, nBuckets uint64) (*store, error) {
 // Called only at image-save points, where no transaction is in flight, so
 // every byte below the mark belongs to committed (or freed) nodes.
 func (st *store) persistHighWater() {
+	//pmlint:allow nobackdoor -- image-save point with the system quiesced; no transaction can race this word
 	st.sys.Poke(st.root+rootOffUsed, mem.Word(st.sys.Heap().Used()))
 }
 

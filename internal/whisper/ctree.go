@@ -43,15 +43,15 @@ const ctNodeBytes = 4 * mem.WordSize
 func (c *CTree) Setup(s *sim.System) error {
 	c.sys = s
 	c.roots = make([]mem.Addr, c.cfg.Threads)
+	setup := s.SetupCtx()
 	for t := 0; t < c.cfg.Threads; t++ {
 		hdr, err := s.Heap().AllocLine(mem.WordSize)
 		if err != nil {
 			return fmt.Errorf("ctree: %w", err)
 		}
-		s.Poke(hdr, 0)
+		setup.Store(hdr, 0)
 		c.roots[t] = hdr
 	}
-	setup := s.SetupCtx()
 	per := uint64(c.cfg.Records) / uint64(c.cfg.Threads)
 	for t := 0; t < c.cfg.Threads; t++ {
 		base := uint64(t) * per

@@ -37,6 +37,7 @@ func (e *Echo) Name() string { return "echo" }
 func (e *Echo) Setup(s *sim.System) error {
 	e.sys = s
 	per := e.cfg.Records / e.cfg.Threads
+	setup := s.SetupCtx()
 	for t := 0; t < e.cfg.Threads; t++ {
 		hdr, err := s.Heap().AllocLine(mem.WordSize)
 		if err != nil {
@@ -50,9 +51,9 @@ func (e *Echo) Setup(s *sim.System) error {
 		if err != nil {
 			return fmt.Errorf("echo: %w", err)
 		}
-		s.Poke(hdr, 0)
+		setup.Store(hdr, 0)
 		for i := 0; i < per; i++ {
-			s.Poke(idx+mem.Addr(i*mem.WordSize), mem.Word(^uint64(0)))
+			setup.Store(idx+mem.Addr(i*mem.WordSize), mem.Word(^uint64(0)))
 		}
 		e.headers = append(e.headers, hdr)
 		e.queues = append(e.queues, q)

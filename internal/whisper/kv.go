@@ -42,8 +42,9 @@ func newKVStore(s *sim.System, keySpace uint64, valueWords int) (*kvStore, error
 	if err != nil {
 		return nil, fmt.Errorf("kv: %w", err)
 	}
+	setup := s.SetupCtx()
 	for i := 0; i < n; i++ {
-		s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+		setup.Store(b+mem.Addr(i*mem.WordSize), 0)
 	}
 	return &kvStore{sys: s, buckets: b, nBuckets: n, keySpace: keySpace, valueWords: valueWords}, nil
 }

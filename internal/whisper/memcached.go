@@ -64,6 +64,7 @@ func (m *Memcached) Setup(s *sim.System) error {
 	if m.nBuckets < 16 {
 		m.nBuckets = 16
 	}
+	setup := s.SetupCtx()
 	for t := 0; t < m.cfg.Threads; t++ {
 		hdr, err := s.Heap().AllocLine(3 * mem.WordSize)
 		if err != nil {
@@ -73,17 +74,16 @@ func (m *Memcached) Setup(s *sim.System) error {
 		if err != nil {
 			return fmt.Errorf("memcached: %w", err)
 		}
-		s.Poke(hdr+mcHead*mem.WordSize, 0)
-		s.Poke(hdr+mcTail*mem.WordSize, 0)
-		s.Poke(hdr+mcCount*mem.WordSize, 0)
+		setup.Store(hdr+mcHead*mem.WordSize, 0)
+		setup.Store(hdr+mcTail*mem.WordSize, 0)
+		setup.Store(hdr+mcCount*mem.WordSize, 0)
 		for i := 0; i < m.nBuckets; i++ {
-			s.Poke(bkt+mem.Addr(i*mem.WordSize), 0)
+			setup.Store(bkt+mem.Addr(i*mem.WordSize), 0)
 		}
 		m.headers = append(m.headers, hdr)
 		m.buckets = append(m.buckets, bkt)
 	}
 	// Warm the cache to capacity through the normal SET path.
-	setup := s.SetupCtx()
 	for t := 0; t < m.cfg.Threads; t++ {
 		base := uint64(t) * uint64(per)
 		for k := 0; k < m.capacity; k++ {

@@ -49,18 +49,18 @@ func (n *NFS) Setup(s *sim.System) error {
 	if n.nBuckets < 16 {
 		n.nBuckets = 16
 	}
+	setup := s.SetupCtx()
 	for t := 0; t < n.cfg.Threads; t++ {
 		b, err := s.Heap().AllocLine(uint64(n.nBuckets * mem.WordSize))
 		if err != nil {
 			return fmt.Errorf("nfs: %w", err)
 		}
 		for i := 0; i < n.nBuckets; i++ {
-			s.Poke(b+mem.Addr(i*mem.WordSize), 0)
+			setup.Store(b+mem.Addr(i*mem.WordSize), 0)
 		}
 		n.buckets = append(n.buckets, b)
 	}
 	// Pre-create half the namespace.
-	setup := s.SetupCtx()
 	for t := 0; t < n.cfg.Threads; t++ {
 		base := uint64(t) * uint64(per)
 		for k := base; k < base+uint64(per); k += 2 {

@@ -58,6 +58,7 @@ func (t *TPCC) Name() string { return "tpcc" }
 // Setup implements Workload.
 func (t *TPCC) Setup(s *sim.System) error {
 	t.sys = s
+	setup := s.SetupCtx()
 	for w := 0; w < t.cfg.Threads; w++ {
 		var wh tpccWarehouse
 		var err error
@@ -78,19 +79,19 @@ func (t *TPCC) Setup(s *sim.System) error {
 		if err != nil {
 			return fmt.Errorf("tpcc: %w", err)
 		}
-		s.Poke(wh.base, 7)   // tax
-		s.Poke(wh.base+8, 0) // ytd
+		setup.Store(wh.base, 7)   // tax
+		setup.Store(wh.base+8, 0) // ytd
 		for d := 0; d < tpccDistricts; d++ {
-			s.Poke(wh.districts+mem.Addr(d*mem.LineSize), 1)   // nextOID
-			s.Poke(wh.districts+mem.Addr(d*mem.LineSize)+8, 0) // ytd
+			setup.Store(wh.districts+mem.Addr(d*mem.LineSize), 1)   // nextOID
+			setup.Store(wh.districts+mem.Addr(d*mem.LineSize)+8, 0) // ytd
 		}
 		for i := 0; i < t.items; i++ {
 			a := wh.stock + mem.Addr(i*tpccStockWords*mem.WordSize)
-			s.Poke(a, 100) // quantity
-			s.Poke(a+8, 0) // ytd
-			s.Poke(a+16, 0)
+			setup.Store(a, 100) // quantity
+			setup.Store(a+8, 0) // ytd
+			setup.Store(a+16, 0)
 		}
-		s.Poke(wh.orderHead, 0)
+		setup.Store(wh.orderHead, 0)
 		t.warehouses = append(t.warehouses, wh)
 	}
 	return nil

@@ -39,6 +39,7 @@ func (v *Vacation) Name() string { return "vacation" }
 // Setup implements Workload.
 func (v *Vacation) Setup(s *sim.System) error {
 	v.sys = s
+	setup := s.SetupCtx()
 	for t := 0; t < vacTables; t++ {
 		a, err := s.Heap().AllocLine(uint64(v.cfg.Records * vacResourceWords * mem.WordSize))
 		if err != nil {
@@ -47,9 +48,9 @@ func (v *Vacation) Setup(s *sim.System) error {
 		v.resources[t] = a
 		for r := 0; r < v.cfg.Records; r++ {
 			row := a + mem.Addr(r*vacResourceWords*mem.WordSize)
-			s.Poke(row, 100)                  // available
-			s.Poke(row+8, mem.Word(50+r%100)) // price
-			s.Poke(row+16, 0)                 // reserved
+			setup.Store(row, 100)                  // available
+			setup.Store(row+8, mem.Word(50+r%100)) // price
+			setup.Store(row+16, 0)                 // reserved
 		}
 	}
 	c, err := s.Heap().AllocLine(uint64(v.cfg.Records * vacCustWords * mem.WordSize))
@@ -58,7 +59,7 @@ func (v *Vacation) Setup(s *sim.System) error {
 	}
 	v.customers = c
 	for r := 0; r < v.cfg.Records; r++ {
-		s.Poke(c+mem.Addr(r*vacCustWords*mem.WordSize), 0)
+		setup.Store(c+mem.Addr(r*vacCustWords*mem.WordSize), 0)
 	}
 	return nil
 }
