@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint ci
+.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline ci
 
 all: build test
 
@@ -30,4 +30,20 @@ vet:
 pmlint:
 	$(GO) run ./cmd/pmlint ./...
 
-ci: build lint test race
+# trace records one FWB microbenchmark run and writes a Chrome
+# trace_event timeline to trace.json (open in about:tracing or
+# ui.perfetto.dev); the per-phase breakdown prints on stdout.
+trace:
+	$(GO) run ./cmd/pmtrace -bench hash -mode fwb -threads 2 -log-kb 32 -o trace.json
+
+# trace-test is the pmtrace round-trip acceptance test (also part of
+# `test`, but gated explicitly so ci fails loudly if the exporter breaks).
+trace-test:
+	$(GO) test ./cmd/pmtrace
+
+# bench-baseline regenerates the committed microbenchmark grid dump.
+# The simulator is deterministic, so a diff here means behavior changed.
+bench-baseline:
+	$(GO) run ./cmd/experiments -json
+
+ci: build lint test race trace-test

@@ -294,6 +294,69 @@ func BenchmarkAblationThreadScaling(b *testing.B) {
 	}
 }
 
+// benchObsRun executes the hash microbenchmark with an event tracer
+// attached, toggling whether it records. The Disabled/Enabled pair
+// quantifies the observability tax on the whole pipeline: Disabled
+// must stay within noise of BenchmarkSimulatorSpeed (the pre-tracer
+// hot path), since the disabled fast path is one atomic load.
+func benchObsRun(b *testing.B, enabled bool) {
+	b.Helper()
+	p := benchParams()
+	p.TxnsPerThread = 200
+	var txns, events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := bench.New("hash", bench.Config{
+			Elements:      p.Elements,
+			TxnsPerThread: p.TxnsPerThread,
+			Threads:       1,
+			Values:        p.Values,
+			Seed:          p.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := NewSystem(p.config(FWB, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := sys.AttachTracer(1 << 14)
+		if err := w.Setup(sys); err != nil {
+			b.Fatal(err)
+		}
+		if enabled {
+			tr.Enable()
+		}
+		if err := sys.RunN(w.Run); err != nil {
+			b.Fatal(err)
+		}
+		tr.Disable()
+		txns += sys.Stats().Transactions
+		events += tr.Emitted()
+	}
+	b.ReportMetric(float64(txns)/b.Elapsed().Seconds(), "sim-tx/s")
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+func BenchmarkObsDisabled(b *testing.B) { benchObsRun(b, false) }
+func BenchmarkObsEnabled(b *testing.B)  { benchObsRun(b, true) }
+
+// TestObsDisabledPathAllocFree is the CI guard behind the benchmark
+// pair: a disabled tracer's Emit — the call sprinkled through every
+// hot loop — must not allocate.
+func TestObsDisabledPathAllocFree(t *testing.T) {
+	sys, err := NewSystem(benchParams().config(FWB, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sys.AttachTracer(1 << 10) // attached, never enabled
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(0, 1, 1, 1, 1)
+	}); allocs != 0 {
+		t.Fatalf("disabled Emit allocates %.1f bytes/op, want 0", allocs)
+	}
+}
+
 // Raw simulator speed: simulated transactions per wall-clock second.
 func BenchmarkSimulatorSpeed(b *testing.B) {
 	p := benchParams()

@@ -81,6 +81,7 @@ type Stats struct {
 	Evictions  uint64 // lines displaced by fills
 	WriteBacks uint64 // dirty lines pushed down (eviction, flush, or FWB)
 	FwbForced  uint64 // write-backs initiated by the FWB scanner
+	FwbFlagged uint64 // FLAG→FWB transitions (lines armed for next pass)
 	ScansRun   uint64 // FWB scan passes executed
 	ScanCycles uint64 // total cycles charged to tag scanning
 }
@@ -301,6 +302,7 @@ func (c *Cache) FwbScan(writeBack func(Victim) bool) uint64 {
 		switch l.state() {
 		case stateFlag:
 			l.fwb = true
+			c.stats.FwbFlagged++
 		case stateFwb:
 			if writeBack(Victim{Addr: l.tag, Data: l.data, Dirty: true}) {
 				l.dirty = false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pmemlog/internal/mem"
+	"pmemlog/internal/obs"
 )
 
 // Backing is the memory side of the hierarchy (implemented by the memory
@@ -70,6 +71,18 @@ type Hierarchy struct {
 	l1Busy  []uint64
 	l2Busy  uint64
 	backing Backing
+
+	// tracer observes FWB scan activity (nil or disabled: one branch).
+	tracer    *obs.Tracer
+	traceRing int
+}
+
+// SetTracer attaches (or with nil detaches) the obs tracer. ring is
+// the ring index scan events land in (the machine ring by convention —
+// FWB scans belong to the cache controller, not to any thread).
+func (h *Hierarchy) SetTracer(t *obs.Tracer, ring int) {
+	h.tracer = t
+	h.traceRing = ring
 }
 
 // NewHierarchy builds the cache tree.
@@ -309,16 +322,33 @@ func (h *Hierarchy) DirtyAnywhere(addr mem.Addr) bool {
 // each cache's port, delaying demand accesses that arrive during the scan —
 // this is the paper's ~3.6% tag-scanning overhead (Section VI).
 func (h *Hierarchy) FwbScan(now uint64) {
+	var forced uint64
 	wb := func(v Victim) bool {
 		h.backing.WriteBackLine(now, v.Addr, &v.Data)
+		forced++
+		h.tracer.Emit(h.traceRing, now, obs.KindFwbForced, 0, uint64(v.Addr))
 		return true
 	}
+	flagged0 := h.flaggedTotal()
 	for i, c := range h.l1 {
 		cost := c.FwbScan(wb)
 		h.l1Busy[i] = h.startL1(now, i) + cost
 	}
 	cost := h.l2.FwbScan(wb)
 	h.l2Busy = h.startL2(now) + cost
+	if h.tracer.Enabled() {
+		flagged := h.flaggedTotal() - flagged0
+		h.tracer.Emit(h.traceRing, now, obs.KindFwbScan, 0, forced<<32|flagged&0xffffffff)
+	}
+}
+
+// flaggedTotal sums the FLAG→FWB transition counters across the tree.
+func (h *Hierarchy) flaggedTotal() uint64 {
+	var n uint64
+	for _, c := range h.l1 {
+		n += c.Stats().FwbFlagged
+	}
+	return n + h.l2.Stats().FwbFlagged
 }
 
 // FlushAllDirty writes back every dirty line in the hierarchy (emergency

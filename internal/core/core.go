@@ -35,6 +35,7 @@ import (
 	"pmemlog/internal/memctl"
 	"pmemlog/internal/nvlog"
 	"pmemlog/internal/nvram"
+	"pmemlog/internal/obs"
 )
 
 // Config describes the engine.
@@ -187,7 +188,46 @@ type Engine struct {
 	// truncation's enabling data write-backs provably reached NVRAM.
 	onTruncated func(handle uint64, ev TruncEvidence)
 
+	// tracer receives log and FWB events when tracing is attached. The
+	// nvlog hooks fire from inside PrepareAppend/Truncate, which have no
+	// clock, so traceNow carries the cycle of the current engine entry
+	// point for the closures to stamp.
+	tracer   *obs.Tracer
+	traceNow uint64
+
 	stats Stats
+}
+
+// SetTracer attaches (or with nil detaches) the obs tracer, installing
+// clock-stamping closures on every sub-log. Record-level events land in
+// the emitting thread's ring; log-global events (wrap-around,
+// truncation) fold into the tracer's last ring.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.tracer = t
+	for _, ls := range e.logs {
+		if t == nil {
+			ls.log.SetTrace(nil)
+			continue
+		}
+		ls.log.SetTrace(func(k nvlog.TraceKind, arg uint64, ent *nvlog.Entry) {
+			ring := -1 // machine ring
+			var txid uint16
+			if ent != nil {
+				ring = int(ent.ThreadID)
+				txid = ent.TxID
+			}
+			switch k {
+			case nvlog.TraceAppend:
+				e.tracer.Emit(ring, e.traceNow, obs.KindLogAppend, txid, arg)
+			case nvlog.TraceWrap:
+				e.tracer.Emit(-1, e.traceNow, obs.KindLogWrap, 0, arg)
+			case nvlog.TraceFull:
+				e.tracer.Emit(ring, e.traceNow, obs.KindLogStall, txid, arg)
+			case nvlog.TraceTruncate:
+				e.tracer.Emit(-1, e.traceNow, obs.KindLogTruncate, 0, arg)
+			}
+		})
+	}
 }
 
 // New creates the engine, writing the log's initial metadata through the
@@ -350,6 +390,7 @@ func (e *Engine) Begin(now uint64, threadID uint8) (*Tx, error) {
 // append writes one record through the log buffer, handling the full-log
 // slow paths. It returns the cycle the record was accepted.
 func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMeta) (uint64, error) {
+	e.traceNow = now
 	for attempt := 0; ; attempt++ {
 		writes, err := ls.log.PrepareAppend(entry)
 		if err == nil {
@@ -383,6 +424,7 @@ func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMet
 			return now, err
 		} else if d > now {
 			now = d
+			e.traceNow = now
 		}
 	}
 }
@@ -601,6 +643,7 @@ func (e *Engine) TryTruncate(now uint64) uint64 {
 
 // truncateLog applies the truncation safety rule to one log.
 func (e *Engine) truncateLog(now uint64, ls *logState) uint64 {
+	e.traceNow = now
 	var n uint64
 	for len(ls.records) > 0 {
 		meta := ls.records[0]

@@ -14,6 +14,8 @@
 //	                (drain the log/write-combining buffers first)
 //	lockdiscipline  copied locks, mixed atomic/plain field access, and
 //	                channel sends made while holding a mutex
+//	obshotpath      observability calls inside the server's shard request
+//	                loop restricted to the lock-free atomic handles
 //
 // Findings can be suppressed one-at-a-time with a `//pmlint:allow <rule>`
 // directive on the offending line or the line above (see allow.go); an
@@ -43,7 +45,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in report order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline}
+	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath}
 }
 
 // Pass carries one analyzer's view of one package.

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Import paths the obshotpath analyzer keys on.
+const (
+	serverPkg = "pmemlog/internal/server"
+	obsPkg    = "pmemlog/internal/obs"
+)
+
+// Obshotpath polices the observability calls inside the server's shard
+// request loop. A shard goroutine serializes every write to its
+// simulated machine: anything that blocks there — a registry lookup
+// taking the registration mutex, a Snapshot allocating per record —
+// stalls all of that shard's clients at once. Only the all-atomic
+// handle fast paths are allowed in the loop; registration and
+// rendering belong in setup code or the stats path.
+var Obshotpath = &Analyzer{
+	Name: "obshotpath",
+	Doc:  "inside internal/server shard apply loops, only lock-free allocation-free obs calls (Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe, Tracer.Emit/Enabled)",
+	Run:  runObshotpath,
+}
+
+// obsHotFuncs names the functions that constitute the shard request
+// loop: everything executed by the shard goroutine between dequeuing a
+// request and releasing its response.
+var obsHotFuncs = map[string]bool{
+	"shard.loop":     true,
+	"shard.collect":  true,
+	"shard.drain":    true,
+	"shard.runBatch": true,
+	"shard.apply":    true,
+}
+
+// obsHotAllowed lists the obs entry points that are safe on the hot
+// path: each is a handful of atomic operations, no mutex, no
+// allocation (obs documents and tests this contract).
+var obsHotAllowed = map[string]bool{
+	"Counter.Inc":       true,
+	"Counter.Add":       true,
+	"Gauge.Set":         true,
+	"Gauge.Add":         true,
+	"Histogram.Observe": true,
+	"Tracer.Emit":       true,
+	"Tracer.Enabled":    true,
+}
+
+// obsRecvName renders fn's receiver type name, "" for package-level
+// functions.
+func obsRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func runObshotpath(pass *Pass) {
+	if pass.Pkg.Path() != serverPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, fd := range funcScopes(file) {
+			hot := funcName(fd)
+			if !obsHotFuncs[hot] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+					return true
+				}
+				name := fn.Name()
+				if recv := obsRecvName(fn); recv != "" {
+					name = recv + "." + name
+				}
+				if obsHotAllowed[name] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"obs.%s inside shard hot function %s may lock or allocate, stalling every client of the shard; only %s are allowed there",
+					name, hot, allowedList())
+				return true
+			})
+		}
+	}
+}
+
+// allowedList renders the allowlist for the diagnostic, sorted for
+// deterministic messages.
+func allowedList() string {
+	names := make([]string, 0, len(obsHotAllowed))
+	for n := range obsHotAllowed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "/")
+}

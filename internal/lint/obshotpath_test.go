@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestObshotpath(t *testing.T) {
+	RunFixture(t, Obshotpath, "pmemlog/internal/server")
+}

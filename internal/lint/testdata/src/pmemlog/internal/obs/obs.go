@@ -1,0 +1,45 @@
+// Package obs stubs the observability surface for pmlint fixtures:
+// the signatures the obshotpath analyzer keys on, no behavior.
+package obs
+
+import "io"
+
+// Kind tags one trace event.
+type Kind uint8
+
+// Event is one decoded trace record.
+type Event struct{}
+
+// Tracer is the per-ring event tracer.
+type Tracer struct{}
+
+func (t *Tracer) Enabled() bool                                         { return false }
+func (t *Tracer) Emit(ring int, ts uint64, k Kind, tx uint16, a uint64) {}
+func (t *Tracer) Snapshot() []Event                                     { return nil }
+func (t *Tracer) Reset()                                                {}
+
+// Counter / Gauge / Histogram are the atomic metric handles.
+type Counter struct{}
+
+func (c *Counter) Inc()          {}
+func (c *Counter) Add(n uint64)  {}
+func (c *Counter) Value() uint64 { return 0 }
+
+type Gauge struct{}
+
+func (g *Gauge) Set(n int64) {}
+func (g *Gauge) Add(n int64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v uint64) {}
+
+// Registry is the locking name → handle table.
+type Registry struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, labels, help string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name, labels, help string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name, labels, help string) *Histogram { return &Histogram{} }
+func (r *Registry) WritePrometheus(w io.Writer) error              { return nil }

@@ -1,0 +1,72 @@
+// Fixtures for the obshotpath analyzer: a server-shaped shard whose
+// request loop mixes sanctioned atomic-handle calls with the locking
+// and allocating obs entry points that must be flagged there — and the
+// same heavyweight calls in cold functions, which must pass.
+package server
+
+import (
+	"io"
+
+	"pmemlog/internal/obs"
+)
+
+type shard struct {
+	id     int
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	hist   *obs.Histogram
+	count  *obs.Counter
+	gauge  *obs.Gauge
+}
+
+// loop is the shard worker: the hot path under analysis.
+func (sh *shard) loop() {
+	for i := 0; i < 4; i++ {
+		sh.runBatch()
+	}
+}
+
+func (sh *shard) runBatch() {
+	if sh.tracer.Enabled() {
+		sh.tracer.Emit(sh.id, 0, 0, 0, 0)
+	}
+	sh.count.Inc()
+	sh.count.Add(2)
+	sh.gauge.Set(1)
+	sh.gauge.Add(-1)
+	sh.hist.Observe(17)
+	sh.apply()
+
+	h := sh.reg.Histogram("lat", "", "") // want "obs.Registry.Histogram inside shard hot function shard.runBatch"
+	h.Observe(1)
+}
+
+func (sh *shard) apply() {
+	sh.hist.Observe(3)
+	sh.reg.Counter("reqs", "", "").Inc() // want "obs.Registry.Counter inside shard hot function shard.apply"
+	_ = sh.tracer.Snapshot()             // want "obs.Tracer.Snapshot inside shard hot function shard.apply"
+	sh.tracer.Reset()                    // want "obs.Tracer.Reset inside shard hot function shard.apply"
+}
+
+func (sh *shard) drain() {
+	_ = obs.NewRegistry() // want "obs.NewRegistry inside shard hot function shard.drain"
+}
+
+// initObs is setup code: registry lookups are fine off the hot path.
+func (sh *shard) initObs() {
+	sh.reg = obs.NewRegistry()
+	sh.hist = sh.reg.Histogram("lat", "", "")
+	sh.count = sh.reg.Counter("reqs", "", "")
+	sh.gauge = sh.reg.Gauge("queue", "", "")
+}
+
+// metricsResponse is the cold render path.
+func (sh *shard) metricsResponse(w io.Writer) error {
+	return sh.reg.WritePrometheus(w)
+}
+
+// waived is suppressed one line at a time.
+func (sh *shard) collect() {
+	//pmlint:allow obshotpath
+	_ = sh.reg.Gauge("depth", "", "")
+}

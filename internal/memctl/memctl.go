@@ -19,6 +19,7 @@ import (
 	"pmemlog/internal/dram"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/nvram"
+	"pmemlog/internal/obs"
 )
 
 // Config describes the controller.
@@ -131,7 +132,20 @@ type Controller struct {
 	pending []pendingWrite
 	wbHook  func(addr mem.Addr, done uint64)
 
+	// tracer observes drains, stalls, and data write-backs (nil or
+	// disabled: one branch per event site).
+	tracer    *obs.Tracer
+	traceRing int
+
 	stats Stats
+}
+
+// SetTracer attaches (or with nil detaches) the obs tracer. ring is the
+// ring index controller events land in (the machine ring by
+// convention — buffer drains belong to no thread).
+func (c *Controller) SetTracer(t *obs.Tracer, ring int) {
+	c.tracer = t
+	c.traceRing = ring
 }
 
 // New creates a controller over the given devices.
@@ -205,6 +219,7 @@ func (c *Controller) WriteBackLine(now uint64, addr mem.Addr, src *mem.Line) uin
 		c.trackedNVWrite(done, addr, src[:])
 		c.stats.DataWrites++
 		c.stats.DataWriteBytes += mem.LineSize
+		c.tracer.Emit(c.traceRing, done, obs.KindWriteBack, 0, uint64(addr))
 		if c.wbHook != nil {
 			c.wbHook(addr, done)
 		}
@@ -241,6 +256,7 @@ func (c *Controller) drainSlot(now uint64, s *wslot) uint64 {
 	start = c.wrQ.start(start)
 	done := c.nv.Access(start, s.line, true, n)
 	c.wrQ.commit(done)
+	c.tracer.Emit(c.traceRing, done, obs.KindBufDrain, 0, uint64(s.line))
 	if done > c.maxDrainDone {
 		c.maxDrainDone = done
 	}
@@ -315,6 +331,7 @@ func (c *Controller) appendBuffered(buf *[]wslot, capacity int,
 		drainStart := c.wrQ.start(now)
 		if drainStart > now {
 			c.stats.LogBufStalls++
+			c.tracer.Emit(c.traceRing, now, obs.KindBufStall, 0, drainStart-now)
 		}
 		oldest := (*buf)[0]
 		*buf = (*buf)[1:]

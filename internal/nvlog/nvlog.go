@@ -250,7 +250,36 @@ type Log struct {
 	truncates uint64
 	grows     uint64
 	metaSyncs uint64
+
+	// trace, when non-nil, observes log lifecycle events. The log has no
+	// notion of simulated time, so the installer (core.Engine or the
+	// software-log path in sim) supplies a closure that stamps the
+	// current cycle and forwards into the obs tracer.
+	trace TraceFn
 }
+
+// TraceKind identifies which log event fired the trace hook.
+type TraceKind int
+
+const (
+	// TraceAppend: one record claimed a slot. arg = sequence number.
+	TraceAppend TraceKind = iota
+	// TraceWrap: the append crossed into a new pass over the circular
+	// buffer (slot reuse begins). arg = the pass index just entered.
+	TraceWrap
+	// TraceFull: an append found the buffer full (head-chase stall —
+	// the producer must truncate or grow before retrying). arg = tail.
+	TraceFull
+	// TraceTruncate: the head advanced. arg = records truncated.
+	TraceTruncate
+)
+
+// TraceFn observes one log event. e is the record involved for
+// TraceAppend and TraceFull, nil otherwise.
+type TraceFn func(k TraceKind, arg uint64, e *Entry)
+
+// SetTrace installs (or with nil removes) the trace hook.
+func (l *Log) SetTrace(fn TraceFn) { l.trace = fn }
 
 // New creates an empty log over the region described by cfg. The returned
 // Write persists the initial metadata block.
@@ -337,9 +366,18 @@ func (l *Log) metaWrite() Write {
 // metadata sync). ErrFull means the caller must truncate or grow first.
 func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
 	if l.Full() {
+		if l.trace != nil {
+			l.trace(TraceFull, l.tail, &e)
+		}
 		return nil, ErrFull
 	}
 	seq := l.tail
+	if l.trace != nil {
+		if seq > 0 && seq%l.Capacity() == 0 {
+			l.trace(TraceWrap, l.pass(seq), nil)
+		}
+		l.trace(TraceAppend, seq, &e)
+	}
 	var writes []Write
 	// Reusing a slot that a post-crash scan would still trust (its old
 	// sequence number is at or past the last BARRIERED durable head)
@@ -388,6 +426,9 @@ func (l *Log) Truncate(n uint64) ([]Write, error) {
 	l.head += n
 	l.truncates++
 	l.truncReserved += n
+	if l.trace != nil {
+		l.trace(TraceTruncate, n, nil)
+	}
 	if l.truncReserved >= l.cfg.MetaEvery {
 		l.truncReserved = 0
 		return []Write{l.metaWrite()}, nil

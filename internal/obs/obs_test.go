@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitDisabledIsFreeAndAllocFree(t *testing.T) {
+	tr := NewTracer(2, 16)
+	// Disabled tracer: events vanish.
+	tr.Emit(0, 1, KindTxBegin, 1, 0)
+	if got := tr.Emitted(); got != 0 {
+		t.Fatalf("disabled Emit recorded %d events", got)
+	}
+	// The acceptance criterion: the disabled path allocates zero bytes
+	// per op. This covers both the nil-tracer and disabled-tracer
+	// branches every instrumentation hook takes in a plain run.
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(1, 42, KindLogAppend, 7, 99)
+	}); n != 0 {
+		t.Fatalf("disabled Emit allocates %v bytes/op, want 0", n)
+	}
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(0, 42, KindLogAppend, 7, 99)
+	}); n != 0 {
+		t.Fatalf("nil-tracer Emit allocates %v bytes/op, want 0", n)
+	}
+	// Enabled Emit must not allocate either (hot-path requirement the
+	// pmlint obshotpath rule assumes).
+	tr.Enable()
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(1, 42, KindLogAppend, 7, 99)
+	}); n != 0 {
+		t.Fatalf("enabled Emit allocates %v bytes/op, want 0", n)
+	}
+}
+
+func TestRingOverwriteOldest(t *testing.T) {
+	tr := NewTracer(1, 4)
+	tr.Enable()
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(0, i, KindLogAppend, 0, i)
+	}
+	tr.Disable()
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("Snapshot kept %d events, want 4", len(evs))
+	}
+	// Overwrite-oldest: the survivors are the newest four, in order.
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Arg != want {
+			t.Fatalf("event %d has arg %d, want %d", i, e.Arg, want)
+		}
+	}
+}
+
+func TestSnapshotMergesAndSorts(t *testing.T) {
+	tr := NewTracer(3, 8)
+	tr.Enable()
+	tr.Emit(1, 30, KindTxCommit, 2, 0)
+	tr.Emit(0, 10, KindTxBegin, 1, 0)
+	tr.Emit(2, 20, KindFwbScan, 0, 5)
+	tr.Disable()
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].TS > evs[i].TS {
+			t.Fatalf("snapshot not sorted: %v", evs)
+		}
+	}
+	if evs[0].Kind != KindTxBegin || evs[0].Ring != 0 || evs[0].TxID != 1 {
+		t.Fatalf("decode mismatch: %+v", evs[0])
+	}
+}
+
+func TestEmitOutOfRangeRingFoldsToMachineRing(t *testing.T) {
+	tr := NewTracer(2, 8)
+	tr.Enable()
+	tr.Emit(99, 1, KindLogWrap, 0, 1)
+	tr.Emit(-1, 2, KindLogStall, 0, 2)
+	tr.Disable()
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Ring != 1 {
+			t.Fatalf("event %+v landed in ring %d, want machine ring 1", e, e.Ring)
+		}
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1, 1024)
+	tr.Enable()
+	var wg sync.WaitGroup
+	const workers, each = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(0, uint64(i), KindSrvRecv, uint16(w), uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Disable()
+	if got := tr.Emitted(); got != workers*each {
+		t.Fatalf("Emitted = %d, want %d", got, workers*each)
+	}
+	if got := len(tr.Snapshot()); got != 1024 {
+		t.Fatalf("Snapshot kept %d, want full ring 1024", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	// Log2 buckets bound the estimate to the true value's bucket.
+	if p50 := h.Quantile(0.50); p50 < 500 || p50 > 1023 {
+		t.Fatalf("p50 = %d, want within [500,1023]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 990 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want clamped to max-bucket range [990,1000]", p99)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("p100 = %d, want max 1000", q)
+	}
+	empty := &Histogram{}
+	if empty.Quantile(0.5) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	s := h.Summary()
+	if s.Count != 1000 || s.Max != 1000 || s.Mean < 500 || s.Mean > 501 {
+		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	h := &Histogram{}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123) }); n != 0 {
+		t.Fatalf("Observe allocates %v bytes/op, want 0", n)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pm_requests_total", `op="get"`, "requests served")
+	c.Add(3)
+	r.Counter("pm_requests_total", `op="put"`, "requests served").Inc()
+	g := r.Gauge("pm_queue_depth", "", "queued requests")
+	g.Set(7)
+	h := r.Histogram("pm_latency_ns", `op="get"`, "request latency")
+	h.Observe(100)
+	h.Observe(3000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE pm_requests_total counter",
+		`pm_requests_total{op="get"} 3`,
+		`pm_requests_total{op="put"} 1`,
+		"# TYPE pm_queue_depth gauge",
+		"pm_queue_depth 7",
+		"# TYPE pm_latency_ns histogram",
+		`pm_latency_ns_bucket{op="get",le="+Inf"} 2`,
+		`pm_latency_ns_sum{op="get"} 3100`,
+		`pm_latency_ns_count{op="get"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative le buckets must be non-decreasing and the registry
+	// must hand back the same series on re-lookup.
+	if r.Counter("pm_requests_total", `op="get"`, "requests served") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	evs := []Event{
+		{TS: 10, Kind: KindTxBegin, Ring: 0, TxID: 1},
+		{TS: 12, Kind: KindLogAppend, Ring: 0, TxID: 1, Arg: 5},
+		{TS: 15, Kind: KindLogWrap, Ring: 1, Arg: 2},
+		{TS: 20, Kind: KindTxCommit, Ring: 0, TxID: 1},
+		{TS: 25, Kind: KindTxCommit, Ring: 0, TxID: 9}, // begin lost to wrap
+		{TS: 30, Kind: KindTxBegin, Ring: 0, TxID: 2},  // dangling begin
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs, 1, []string{"thread 0", "machine"}); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	begins, ends, wraps := 0, 0, 0
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Name == "txn" && e.Phase == "B":
+			begins++
+		case e.Name == "txn" && e.Phase == "E":
+			ends++
+		case e.Name == "log-wrap":
+			wraps++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Fatalf("B/E unbalanced: %d begins, %d ends", begins, ends)
+	}
+	if wraps != 1 {
+		t.Fatalf("wrap events = %d, want 1", wraps)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	evs := []Event{
+		{TS: 0, Kind: KindTxBegin, Ring: 0, TxID: 1},
+		{TS: 10, Kind: KindLogAppend, Ring: 0, TxID: 1},
+		{TS: 30, Kind: KindLogAppend, Ring: 0, TxID: 1},
+		{TS: 35, Kind: KindTxCommit, Ring: 0, TxID: 1},
+		{TS: 40, Kind: KindLogStall, Ring: 1},
+		{TS: 50, Kind: KindTxBegin, Ring: 0, TxID: 2},
+		{TS: 60, Kind: KindTxAbort, Ring: 0, TxID: 2},
+	}
+	bd := PhaseBreakdown(evs)
+	if bd.Txns != 1 || bd.Aborts != 1 || bd.Stalls != 1 {
+		t.Fatalf("breakdown: %+v", bd)
+	}
+	want := map[string]uint64{"pre-log": 10, "logging": 20, "commit": 5, "total": 35}
+	for _, p := range bd.Phases {
+		if p.P50 != want[p.Name] {
+			t.Fatalf("phase %s p50 = %d, want %d", p.Name, p.P50, want[p.Name])
+		}
+	}
+	var buf bytes.Buffer
+	bd.Format(&buf)
+	if !strings.Contains(buf.String(), "pre-log") {
+		t.Fatalf("formatted breakdown missing phases:\n%s", buf.String())
+	}
+}

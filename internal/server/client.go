@@ -157,6 +157,20 @@ func (c *Client) Stats() (StatsSnapshot, error) {
 	return snap, err
 }
 
+// Metrics fetches the server's metrics snapshot in Prometheus text
+// exposition format: request-path counters, per-op latency histograms,
+// and the simulated machines' cumulative persistence counters.
+func (c *Client) Metrics() ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Code: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, ErrServer{Msg: resp.Err}
+	}
+	return resp.Val, nil
+}
+
 // StatsJSON fetches the raw stats JSON document.
 func (c *Client) StatsJSON() ([]byte, error) {
 	resp, err := c.roundTrip(&Request{Code: OpStats})

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"pmemlog/internal/obs"
+)
+
+// Observability wiring for the server: a metrics registry answering
+// OpMetrics in Prometheus text exposition format, per-op latency
+// histograms, and (when Config.TraceEvents > 0) an event tracer whose
+// rings follow the request path — receive on the network ring, then
+// enqueue/apply/ack on the owning shard's ring. Trace timestamps are
+// nanoseconds since server start, so a captured server trace feeds the
+// same Chrome trace_event exporter as a simulator trace (with -ghz 1 a
+// "cycle" is one nanosecond).
+
+// opName labels request opcodes for metric series.
+func opName(code byte) string {
+	switch code {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpTxn:
+		return "txn"
+	case OpStats:
+		return "stats"
+	case OpMetrics:
+		return "metrics"
+	}
+	return "unknown"
+}
+
+// dataOps are the opcodes that get latency histograms and per-op
+// request counters; introspection opcodes are excluded so scraping the
+// server does not perturb the series being scraped.
+var dataOps = []byte{OpGet, OpPut, OpDel, OpTxn}
+
+// initObs builds the registry handles and (optionally) the tracer.
+// Called once from Start before any request can arrive.
+func (s *Server) initObs() {
+	s.t0 = time.Now()
+	s.reg = obs.NewRegistry()
+	s.opHist = make(map[byte]*obs.Histogram, len(dataOps))
+	s.opCount = make(map[byte]*obs.Counter, len(dataOps))
+	for _, code := range dataOps {
+		lbl := fmt.Sprintf("op=%q", opName(code))
+		s.opHist[code] = s.reg.Histogram("pmserver_op_latency_ns", lbl,
+			"request latency from dispatch to response, nanoseconds")
+		s.opCount[code] = s.reg.Counter("pmserver_requests_total", lbl,
+			"requests dispatched by opcode")
+	}
+	s.mRetries = s.reg.Counter("pmserver_retries_total", "",
+		"requests answered with backpressure (queue full or draining)")
+	if s.cfg.TraceEvents > 0 {
+		// Ring i = shard i; the last ring is the shared network ring.
+		s.tracer = obs.NewTracer(s.cfg.Shards+1, s.cfg.TraceEvents)
+	}
+}
+
+// nowNS is the trace clock: nanoseconds since server start.
+func (s *Server) nowNS() uint64 { return uint64(time.Since(s.t0)) }
+
+// Tracer exposes the server's event tracer; nil unless Config.TraceEvents
+// was set. Enable it, drive traffic, then Snapshot — the events slot into
+// obs.WriteChromeTrace with TracerRingNames for labels.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TracerRingNames labels the tracer rings for trace export.
+func (s *Server) TracerRingNames() []string {
+	names := make([]string, s.cfg.Shards+1)
+	for i := 0; i < s.cfg.Shards; i++ {
+		names[i] = fmt.Sprintf("shard %d", i)
+	}
+	names[s.cfg.Shards] = "network"
+	return names
+}
+
+// netRing is the tracer ring shared by connection goroutines.
+func (s *Server) netRing() int { return s.cfg.Shards }
+
+// metricsResponse renders the Prometheus text-format document answered
+// to OpMetrics. Machine-level counters (keys, txns, log traffic) come
+// from a fresh stats probe of every shard and are published as gauges
+// set at render time; the request-path counters and latency histograms
+// are live registry handles updated in dispatch.
+func (s *Server) metricsResponse() Response {
+	snap, err := s.Stats()
+	if err != nil {
+		s.noteRetry()
+		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
+	}
+	set := func(name, labels, help string, v uint64) {
+		s.reg.Gauge(name, labels, help).Set(int64(v))
+	}
+	set("pmserver_connections_accepted", "", "TCP connections accepted since start", snap.Accepted)
+	set("pmserver_cross_shard_rejects", "", "TXN batches rejected for spanning shards", snap.CrossShard)
+	set("pmserver_keys", "", "live keys across all shards", snap.Keys)
+	set("pmserver_txns_committed", "", "transactions committed on the simulated machines", snap.Txns)
+	set("pmserver_log_appends", "", "undo+redo log records appended", snap.LogAppends)
+	set("pmserver_log_truncated", "", "log records reclaimed by truncation", snap.LogTrunc)
+	set("pmserver_fwb_scans", "", "force write-back scans completed", snap.FwbScans)
+	set("pmserver_nvram_write_bytes", "", "bytes written to simulated NVRAM", snap.NVRAMBytes)
+	for _, st := range snap.ShardStats {
+		lbl := fmt.Sprintf("shard=\"%d\"", st.ID)
+		set("pmserver_shard_queue_len", lbl, "requests waiting in the shard queue", uint64(st.QueueLen))
+		set("pmserver_shard_batches", lbl, "request batches executed", st.Batches)
+		set("pmserver_shard_saves", lbl, "atomic image saves taken", st.Saves)
+	}
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		return Response{Status: StatusErr, Err: err.Error()}
+	}
+	return Response{Status: StatusOK, Val: buf.Bytes()}
+}
+
+// noteRetry bumps both the snapshot counter and the metrics series.
+func (s *Server) noteRetry() {
+	s.retries.Add(1)
+	s.mRetries.Inc()
+}

@@ -18,11 +18,12 @@ import (
 
 // Opcodes (request body's first byte).
 const (
-	OpGet   = byte(0x01)
-	OpPut   = byte(0x02)
-	OpDel   = byte(0x03)
-	OpTxn   = byte(0x04) // atomic multi-op batch (PUT/DEL sub-ops, one shard)
-	OpStats = byte(0x05)
+	OpGet     = byte(0x01)
+	OpPut     = byte(0x02)
+	OpDel     = byte(0x03)
+	OpTxn     = byte(0x04) // atomic multi-op batch (PUT/DEL sub-ops, one shard)
+	OpStats   = byte(0x05)
+	OpMetrics = byte(0x06) // Prometheus text-format metrics snapshot
 )
 
 // Response status codes (response body's first byte).
@@ -145,7 +146,7 @@ func EncodeRequest(buf []byte, r *Request) ([]byte, error) {
 				return nil, fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
 			}
 		}
-	case OpStats:
+	case OpStats, OpMetrics:
 		// opcode only
 	default:
 		return nil, fmt.Errorf("server: unknown opcode %#x", r.Code)
@@ -285,7 +286,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 				return nil, fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
 			}
 		}
-	case OpStats:
+	case OpStats, OpMetrics:
 	default:
 		return nil, fmt.Errorf("server: unknown opcode %#x", code)
 	}

@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pmemlog/internal/obs"
 	"pmemlog/internal/sim"
 	"pmemlog/internal/txn"
 )
@@ -34,6 +36,11 @@ type Config struct {
 
 	RetryAfterMs uint32      // backpressure hint returned with StatusRetry
 	Logger       *log.Logger // nil = log.Default()
+
+	// TraceEvents > 0 attaches an event tracer with that many records
+	// per ring (one ring per shard plus a network ring). The tracer
+	// starts disabled; see Server.Tracer. Zero means no tracer.
+	TraceEvents int
 }
 
 // withDefaults fills zero fields.
@@ -109,6 +116,15 @@ type Server struct {
 	requests   atomic.Uint64
 	retries    atomic.Uint64
 	crossShard atomic.Uint64
+
+	// Observability (see metrics.go). The registry handles are created
+	// once in initObs; dispatch only touches the atomic handles.
+	t0       time.Time
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	opHist   map[byte]*obs.Histogram
+	opCount  map[byte]*obs.Counter
+	mRetries *obs.Counter
 }
 
 // shardConfig builds one shard's machine configuration.
@@ -168,12 +184,14 @@ func Start(cfg Config) (*Server, error) {
 		conns: make(map[net.Conn]struct{}),
 		dead:  make(chan struct{}),
 	}
+	s.initObs()
 	scfg := shardConfig(cfg)
 	for i := 0; i < cfg.Shards; i++ {
 		sh, err := newShard(i, scfg, cfg.Buckets, cfg.Dir, cfg.QueueDepth, cfg.BatchMax)
 		if err != nil {
 			return nil, err
 		}
+		sh.tracer, sh.nowNS = s.tracer, s.nowNS
 		if sh.bootRep != nil {
 			cfg.Logger.Printf("pmserver: shard %d re-attached %s: %d keys, %d log records scanned, %d txns redone, %d rolled back",
 				i, sh.imgPath, sh.st.keys, sh.bootRep.EntriesScanned, len(sh.bootRep.Committed), len(sh.bootRep.Uncommitted))
@@ -237,6 +255,9 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		req, err := DecodeRequest(body)
+		if err == nil && s.tracer.Enabled() {
+			s.tracer.Emit(s.netRing(), s.nowNS(), obs.KindSrvRecv, 0, uint64(req.Code))
+		}
 		var resp Response
 		if err != nil {
 			// A malformed frame means the stream may be desynchronized:
@@ -258,15 +279,31 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
-// dispatch routes one request to its shard and waits for the answer.
+// dispatch routes one request to its shard and waits for the answer,
+// recording the per-op latency histogram around the whole round trip
+// (queueing included — that is the latency a client observes).
 func (s *Server) dispatch(req *Request) Response {
+	if h := s.opHist[req.Code]; h != nil {
+		s.opCount[req.Code].Inc()
+		start := time.Now()
+		resp := s.route(req)
+		h.Observe(uint64(time.Since(start)))
+		return resp
+	}
+	return s.route(req)
+}
+
+func (s *Server) route(req *Request) Response {
 	s.requests.Add(1)
 	if s.draining.Load() {
-		s.retries.Add(1)
+		s.noteRetry()
 		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
 	}
 	if req.Code == OpStats {
 		return s.statsResponse()
+	}
+	if req.Code == OpMetrics {
+		return s.metricsResponse()
 	}
 
 	var key []byte
@@ -286,11 +323,15 @@ func (s *Server) dispatch(req *Request) Response {
 	} else {
 		key = req.Key
 	}
-	sh := s.shards[ShardOf(key, len(s.shards))]
+	home := ShardOf(key, len(s.shards))
+	sh := s.shards[home]
 	r := &request{req: req, resp: make(chan Response, 1)}
 	if !sh.tryEnqueue(r) {
-		s.retries.Add(1)
+		s.noteRetry()
 		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Emit(home, s.nowNS(), obs.KindSrvEnqueue, 0, uint64(req.Code))
 	}
 	select {
 	case resp := <-r.resp:
@@ -319,6 +360,10 @@ type StatsSnapshot struct {
 	FwbScans   uint64       `json:"fwb_scans"`
 	NVRAMBytes uint64       `json:"nvram_write_bytes"`
 	ShardStats []ShardStats `json:"shard_stats"`
+
+	// OpLatencies summarizes the per-op latency histograms (nanoseconds)
+	// accumulated since server start, keyed by opcode name.
+	OpLatencies map[string]obs.LatencySummary `json:"op_latencies,omitempty"`
 }
 
 // Stats gathers a consistent-enough snapshot: each shard answers a probe
@@ -333,6 +378,12 @@ func (s *Server) Stats() (StatsSnapshot, error) {
 		Requests:   s.requests.Load(),
 		Retries:    s.retries.Load(),
 		CrossShard: s.crossShard.Load(),
+	}
+	snap.OpLatencies = make(map[string]obs.LatencySummary, len(s.opHist))
+	for code, h := range s.opHist {
+		if h.Count() > 0 {
+			snap.OpLatencies[opName(code)] = h.Summary()
+		}
 	}
 	probes := make([]chan ShardStats, len(s.shards))
 	for i, sh := range s.shards {
@@ -361,7 +412,7 @@ func (s *Server) Stats() (StatsSnapshot, error) {
 func (s *Server) statsResponse() Response {
 	snap, err := s.Stats()
 	if err != nil {
-		s.retries.Add(1)
+		s.noteRetry()
 		return Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs}
 	}
 	b, err := json.Marshal(snap)

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pmemlog/internal/obs"
 	"pmemlog/internal/recovery"
 	"pmemlog/internal/sim"
 	"pmemlog/internal/stats"
@@ -55,6 +56,11 @@ type shard struct {
 	requests uint64
 	unsaved  bool             // writes committed since the last image save
 	bootRep  *recovery.Report // recovery report from attach, if any
+
+	// Observability, installed by Start before loop() runs. tracer may
+	// be nil (Emit/Enabled are nil-safe); ring sh.id is this shard's.
+	tracer *obs.Tracer
+	nowNS  func() uint64
 }
 
 // newShard builds (or re-attaches) one shard.
@@ -172,6 +178,9 @@ func (sh *shard) runBatch(batch []*request) {
 				continue // stats probe: answered after the batch
 			}
 			sh.requests++
+			if sh.tracer.Enabled() {
+				sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvApply, 0, uint64(r.req.Code))
+			}
 			resps[i] = sh.apply(ctx, r.req)
 			if resps[i].Status == StatusOK && r.req.Code != OpGet {
 				wrote = true
@@ -201,6 +210,9 @@ func (sh *shard) runBatch(batch []*request) {
 		if r.stats != nil {
 			r.stats <- sh.snapshot()
 			continue
+		}
+		if sh.tracer.Enabled() {
+			sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvAck, 0, uint64(resps[i].Status))
 		}
 		r.resp <- resps[i]
 	}

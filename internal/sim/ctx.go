@@ -6,6 +6,7 @@ import (
 	"pmemlog/internal/core"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/nvlog"
+	"pmemlog/internal/obs"
 	"pmemlog/internal/txn"
 )
 
@@ -87,6 +88,15 @@ type coreIface interface {
 
 func (t *threadCtx) ThreadID() int { return t.id }
 
+// traceTxID is the id stamped on this thread's trace events: the
+// hardware physical TxID when one is held, else the software txid.
+func (t *threadCtx) traceTxID() uint16 {
+	if t.hwTx != nil {
+		return t.hwTx.TxID()
+	}
+	return t.swTxID
+}
+
 // yield hands control back to the scheduler after each operation.
 func (t *threadCtx) yield() {
 	t.ready <- struct{}{}
@@ -106,7 +116,11 @@ func (t *threadCtx) run(w func(Ctx)) {
 		if r := recover(); r != nil {
 			switch f := r.(type) {
 			case crashFault:
-				// Power loss: nothing more to do.
+				// Power loss: the open transaction dies with the machine
+				// (recovery will roll it back from the undo log).
+				if t.inTx {
+					t.s.tracer.Emit(t.id, t.core.Now(), obs.KindTxAbort, t.traceTxID(), 0)
+				}
 			case simFault:
 				t.err = f.err
 			default:
@@ -331,6 +345,7 @@ func (t *threadCtx) TxBegin() {
 	t.writeSet.Reset()
 	t.inTx = true
 	t.txStart = t.core.Now()
+	t.s.tracer.Emit(t.id, t.txStart, obs.KindTxBegin, t.traceTxID(), 0)
 	if t.s.oracle != nil {
 		id := t.swTxID
 		if t.hwTx != nil {
@@ -353,6 +368,7 @@ func (t *threadCtx) TxCommit() {
 		t.core.Compute(txn.TxCommitInstr)
 	}
 	durable := ^uint64(0)
+	traceTxID := t.traceTxID()
 
 	switch {
 	case spec.HWLog:
@@ -400,6 +416,7 @@ func (t *threadCtx) TxCommit() {
 	}
 
 	t.inTx = false
+	t.s.tracer.Emit(t.id, t.core.Now(), obs.KindTxCommit, traceTxID, 0)
 	t.s.committedTxns++
 	t.s.txnLatencies = append(t.s.txnLatencies, t.core.Now()-t.txStart)
 	if t.oracleTx != nil {

@@ -13,6 +13,7 @@ import (
 	"pmemlog/internal/memctl"
 	"pmemlog/internal/nvlog"
 	"pmemlog/internal/nvram"
+	"pmemlog/internal/obs"
 	"pmemlog/internal/pheap"
 	"pmemlog/internal/recovery"
 	"pmemlog/internal/stats"
@@ -60,6 +61,81 @@ type System struct {
 	// oracleByHandle maps hardware transaction handles to oracle records
 	// so the engine's truncation hook can mark provably-durable commits.
 	oracleByHandle map[uint64]*txRecord
+
+	// tracer, when attached, receives machine events: ring i = thread i,
+	// ring Threads = the machine ring (engine, controller, caches).
+	tracer *obs.Tracer
+}
+
+// AttachTracer allocates an event tracer sized for this machine (one
+// ring per hardware thread plus a machine ring, perRing records each),
+// wires it through every layer, and returns it disabled; call Enable
+// on the result to start recording. Reboot/Attach re-wire it into the
+// rebuilt components automatically.
+func (s *System) AttachTracer(perRing int) *obs.Tracer {
+	s.tracer = obs.NewTracer(s.cfg.Threads+1, perRing)
+	s.wireTracer()
+	return s.tracer
+}
+
+// Tracer returns the attached tracer, nil when none.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
+// TracerRingNames labels the tracer's rings for export surfaces.
+func (s *System) TracerRingNames() []string {
+	names := make([]string, s.cfg.Threads+1)
+	for i := 0; i < s.cfg.Threads; i++ {
+		names[i] = fmt.Sprintf("thread %d", i)
+	}
+	names[s.cfg.Threads] = "machine"
+	return names
+}
+
+// wireTracer pushes the current tracer (possibly nil) into every
+// component that can emit events.
+func (s *System) wireTracer() {
+	machine := s.cfg.Threads
+	s.ctl.SetTracer(s.tracer, machine)
+	s.hier.SetTracer(s.tracer, machine)
+	if s.eng != nil {
+		s.eng.SetTracer(s.tracer)
+	}
+	if s.swLog != nil {
+		if s.tracer == nil {
+			s.swLog.SetTrace(nil)
+		} else {
+			s.swLog.SetTrace(s.swLogTrace)
+		}
+	}
+}
+
+// swLogTrace forwards software-log events into the tracer, stamping
+// the appending thread's local clock (the software log, unlike the
+// engine, is driven directly from thread context).
+func (s *System) swLogTrace(k nvlog.TraceKind, arg uint64, ent *nvlog.Entry) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	ring := s.cfg.Threads
+	var txid uint16
+	ts := s.GlobalTime()
+	if ent != nil {
+		txid = ent.TxID
+		if int(ent.ThreadID) < len(s.threads) {
+			ring = int(ent.ThreadID)
+			ts = s.threads[ent.ThreadID].core.Now()
+		}
+	}
+	switch k {
+	case nvlog.TraceAppend:
+		s.tracer.Emit(ring, ts, obs.KindLogAppend, txid, arg)
+	case nvlog.TraceWrap:
+		s.tracer.Emit(s.cfg.Threads, ts, obs.KindLogWrap, 0, arg)
+	case nvlog.TraceFull:
+		s.tracer.Emit(ring, ts, obs.KindLogStall, txid, arg)
+	case nvlog.TraceTruncate:
+		s.tracer.Emit(s.cfg.Threads, ts, obs.KindLogTruncate, 0, arg)
+	}
 }
 
 // New builds the machine.
@@ -379,6 +455,7 @@ func (s *System) rebuild() error {
 	s.swActive = make(map[int]uint64)
 	s.crashed = false
 	s.crashAt = 0
+	s.wireTracer()
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"pmemlog/internal/obs"
+	"pmemlog/internal/txn"
+)
+
+// kindSet buckets a snapshot by event kind.
+func kindSet(evs []obs.Event) map[obs.Kind]int {
+	m := make(map[obs.Kind]int)
+	for _, e := range evs {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func TestTracerCapturesMachineEvents(t *testing.T) {
+	cfg := smallConfig(txn.FWB, 2)
+	cfg.LogBytes = 16 << 10 // force wrap-around
+	s := mustSystem(t, cfg)
+	tr := s.AttachTracer(1 << 14)
+	w, _ := counterWorkload(s, 2, 60, 64)
+	tr.Enable()
+	if err := s.RunN(w); err != nil {
+		t.Fatal(err)
+	}
+	tr.Disable()
+	evs := tr.Snapshot()
+	ks := kindSet(evs)
+	if ks[obs.KindTxBegin] != 120 || ks[obs.KindTxCommit] != 120 {
+		t.Fatalf("tx events begin=%d commit=%d, want 120/120", ks[obs.KindTxBegin], ks[obs.KindTxCommit])
+	}
+	if ks[obs.KindLogAppend] == 0 {
+		t.Fatal("no log-append events")
+	}
+	if ks[obs.KindLogWrap] == 0 {
+		t.Fatal("16 KB log over 120 txns must wrap, but no wrap events")
+	}
+	if ks[obs.KindFwbScan] == 0 {
+		t.Fatal("FWB mode ran without scan events")
+	}
+	if ks[obs.KindBufDrain] == 0 {
+		t.Fatal("no log-buffer drain events")
+	}
+	// Tx events must carry the emitting thread's ring.
+	for _, e := range evs {
+		if e.Kind == obs.KindTxBegin && int(e.Ring) >= cfg.Threads {
+			t.Fatalf("tx-begin in ring %d, want a thread ring", e.Ring)
+		}
+	}
+	// Aggregate-stat cross-check: each committed transaction appends a
+	// header, its updates, and a commit record.
+	r := s.Stats()
+	if r.FwbScans == 0 || uint64(ks[obs.KindFwbScan]) != r.FwbScans {
+		t.Fatalf("scan events %d != stats scans %d", ks[obs.KindFwbScan], r.FwbScans)
+	}
+}
+
+func TestTracerSurvivesReboot(t *testing.T) {
+	s := mustSystem(t, smallConfig(txn.FWB, 1))
+	tr := s.AttachTracer(1 << 12)
+	w, _ := counterWorkload(s, 1, 200, 16)
+	tr.Enable()
+	s.ScheduleCrash(500)
+	if err := s.RunN(w); err != ErrCrashed {
+		t.Fatalf("RunN = %v, want ErrCrashed", err)
+	}
+	if err := s.Reboot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Emitted()
+	w2, _ := counterWorkload(s, 1, 5, 16)
+	if err := s.RunN(w2); err != nil {
+		t.Fatal(err)
+	}
+	tr.Disable()
+	if tr.Emitted() <= before {
+		t.Fatal("rebuilt machine no longer feeds the tracer (rewire lost)")
+	}
+}
+
+func TestTracerDisabledEmitsNothing(t *testing.T) {
+	s := mustSystem(t, smallConfig(txn.FWB, 1))
+	tr := s.AttachTracer(1 << 10) // attached but never enabled
+	w, _ := counterWorkload(s, 1, 10, 16)
+	if err := s.RunN(w); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Emitted(); n != 0 {
+		t.Fatalf("disabled tracer recorded %d events", n)
+	}
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -14,16 +15,27 @@ func BarChart(title string, labels []string, values []float64, reference float64
 	if width <= 0 {
 		width = 50
 	}
+	// Non-finite samples (NaN, ±Inf) would poison the scale and the
+	// int conversions below, so they are drawn as zero-length bars and
+	// excluded from the max.
+	finite := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return 0
+		}
+		return v
+	}
 	var max float64
 	for _, v := range values {
-		if v > max {
-			max = v
+		if fv := finite(v); fv > max {
+			max = fv
 		}
 	}
-	if reference > max {
-		max = reference
+	if fr := finite(reference); fr > max {
+		max = fr
 	}
 	if max == 0 {
+		// All-zero (or all-non-finite) input: keep the frame renderable
+		// with empty bars instead of dividing by zero.
 		max = 1
 	}
 	labelW := 0
@@ -32,9 +44,20 @@ func BarChart(title string, labels []string, values []float64, reference float64
 			labelW = len(l)
 		}
 	}
+	// A label wider than the chart itself would push every bar off the
+	// terminal; truncate to the bar width with a marker instead.
+	clip := func(l string) string {
+		if len(l) <= width {
+			return l
+		}
+		return l[:width-1] + "~"
+	}
+	if labelW > width {
+		labelW = width
+	}
 	refCell := -1
-	if reference > 0 {
-		refCell = int(reference / max * float64(width))
+	if fr := finite(reference); fr > 0 {
+		refCell = int(fr / max * float64(width))
 		if refCell >= width {
 			refCell = width - 1
 		}
@@ -47,7 +70,10 @@ func BarChart(title string, labels []string, values []float64, reference float64
 		if i >= len(values) {
 			break
 		}
-		n := int(values[i] / max * float64(width))
+		n := int(finite(values[i]) / max * float64(width))
+		if n > width {
+			n = width
+		}
 		if n < 0 {
 			n = 0
 		}
@@ -65,7 +91,7 @@ func BarChart(title string, labels []string, values []float64, reference float64
 		if refCell >= 0 && refCell < n {
 			row[refCell] = '|'
 		}
-		fmt.Fprintf(&b, "%-*s %s %s\n", labelW, l, string(row),
+		fmt.Fprintf(&b, "%-*s %s %s\n", labelW, clip(l), string(row),
 			strconv.FormatFloat(values[i], 'f', 3, 64))
 	}
 	return b.String()

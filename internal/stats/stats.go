@@ -106,10 +106,17 @@ func ratio(a, b float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of the values; the
-// slice is sorted in place.
+// slice is sorted in place. An empty slice yields 0, and p is clamped
+// to [0, 100] before indexing — int(NaN) is platform-dependent in Go,
+// so NaN is pinned to 0 explicitly rather than fed to the conversion.
 func Percentile(vals []uint64, p float64) uint64 {
 	if len(vals) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	idx := int(p / 100 * float64(len(vals)-1))
