@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline ci
+.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf ci
 
 all: build test
 
@@ -46,4 +46,13 @@ trace-test:
 bench-baseline:
 	$(GO) run ./cmd/experiments -json
 
-ci: build lint test race trace-test
+# perf guards the wall-clock path (DESIGN.md §11): the zero-allocation
+# tests on the nvlog append and shard apply hot paths, then a short
+# pmperf run writing BENCH_wall.json (baseline vs pipelined + speedup).
+# Wall-clock numbers vary by host; the committed BENCH_wall.json is the
+# reference, CI uploads each run's report as an artifact.
+perf:
+	$(GO) test ./internal/nvlog ./internal/server -run 'ZeroAlloc' -count=1
+	$(GO) run ./cmd/pmperf -conns 2 -window 16 -duration 500ms -o BENCH_wall.json
+
+ci: build lint test race trace-test perf

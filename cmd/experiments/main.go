@@ -23,6 +23,7 @@ import (
 
 	"pmemlog"
 	"pmemlog/internal/bench"
+	"pmemlog/internal/prof"
 )
 
 func main() {
@@ -45,8 +46,18 @@ func main() {
 		csv     = flag.Bool("csv", false, "CSV output")
 		chart   = flag.Bool("chart", false, "append an ASCII bar chart of the fwb column to each figure")
 		jsonOut = flag.Bool("json", false, "write the micro grid's raw runs to BENCH_micro.json")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	p := pmemlog.QuickParams()
 	if *full {

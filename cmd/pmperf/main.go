@@ -1,0 +1,283 @@
+// Command pmperf is the wall-clock performance harness: it drives a
+// pmserver (in-process by default, or an external one via -addr) with a
+// configurable connection count, pipeline window, value size, and op mix,
+// and reports real ops/s and latency percentiles. Unlike cmd/experiments
+// (simulated cycles), pmperf measures the host machine: it exists to show
+// that the software pipeline around the simulator — protocol, shards,
+// client — is fast, and in particular that the pipelined client protocol
+// multiplies throughput over the synchronous one.
+//
+// Every run measures a window-1 baseline and the requested pipelined
+// window on the same server, then writes both plus their speedup as JSON
+// (default BENCH_wall.json) so CI can track regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pmemlog/internal/prof"
+	"pmemlog/internal/server"
+)
+
+type runConfig struct {
+	Conns      int    `json:"conns"`
+	Window     int    `json:"window"`
+	Keys       int    `json:"keys"`
+	ValueBytes int    `json:"value_bytes"`
+	Mix        string `json:"mix"`
+	DurationMS int64  `json:"duration_ms"`
+	Shards     int    `json:"shards"`
+}
+
+type runResult struct {
+	Window    int     `json:"window"`
+	Ops       uint64  `json:"ops"`
+	Errors    uint64  `json:"errors"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	P999us    float64 `json:"p999_us"`
+	Maxus     float64 `json:"max_us"`
+}
+
+type report struct {
+	Config    runConfig `json:"config"`
+	Baseline  runResult `json:"baseline"`
+	Pipelined runResult `json:"pipelined"`
+	Speedup   float64   `json:"speedup"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "existing pmserver address (default: boot an in-process server)")
+		conns      = flag.Int("conns", 4, "client connections")
+		window     = flag.Int("window", 16, "pipelined in-flight window per connection")
+		keys       = flag.Int("keys", 1024, "working-set key count")
+		valueBytes = flag.Int("value-bytes", 64, "value size")
+		mix        = flag.String("mix", "get=50,put=50", "op mix, e.g. get=90,put=10")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per run")
+		shards     = flag.Int("shards", 4, "shards for the in-process server")
+		out        = flag.String("o", "BENCH_wall.json", "output JSON path (empty = stdout only)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to file on exit")
+	)
+	flag.Parse()
+
+	getPct, putPct, err := parseMix(*mix)
+	if err != nil {
+		log.Fatalf("pmperf: %v", err)
+	}
+
+	target := *addr
+	if target == "" {
+		dir, err := os.MkdirTemp("", "pmperf-")
+		if err != nil {
+			log.Fatalf("pmperf: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		srv, err := server.Start(server.Config{
+			Addr:   "127.0.0.1:0",
+			Dir:    dir,
+			Shards: *shards,
+			Logger: log.New(os.Stderr, "", 0),
+		})
+		if err != nil {
+			log.Fatalf("pmperf: %v", err)
+		}
+		defer srv.Shutdown()
+		target = srv.Addr()
+	}
+
+	keyset := makeKeys(*keys)
+	val := make([]byte, *valueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	if err := preload(target, keyset, val); err != nil {
+		log.Fatalf("pmperf: preload: %v", err)
+	}
+
+	// Start profiling after preload so profiles cover only measured load.
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatalf("pmperf: %v", err)
+	}
+	defer stopProf()
+
+	rep := report{Config: runConfig{
+		Conns: *conns, Window: *window, Keys: *keys, ValueBytes: *valueBytes,
+		Mix: *mix, DurationMS: duration.Milliseconds(), Shards: *shards,
+	}}
+	fmt.Fprintf(os.Stderr, "pmperf: baseline (window 1, %d conns, %v)...\n", *conns, *duration)
+	rep.Baseline = runLoad(target, *conns, 1, keyset, val, getPct, putPct, *duration)
+	fmt.Fprintf(os.Stderr, "pmperf: pipelined (window %d, %d conns, %v)...\n", *window, *conns, *duration)
+	rep.Pipelined = runLoad(target, *conns, *window, keyset, val, getPct, putPct, *duration)
+	if rep.Baseline.OpsPerSec > 0 {
+		rep.Speedup = rep.Pipelined.OpsPerSec / rep.Baseline.OpsPerSec
+	}
+
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatalf("pmperf: %v", err)
+		}
+	}
+}
+
+func parseMix(s string) (getPct, putPct int, err error) {
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad mix component %q", part)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad mix component %q: %v", part, err)
+		}
+		switch k {
+		case "get":
+			getPct = n
+		case "put":
+			putPct = n
+		default:
+			return 0, 0, fmt.Errorf("mix op %q not get/put", k)
+		}
+	}
+	if getPct+putPct != 100 {
+		return 0, 0, fmt.Errorf("mix percentages sum to %d, want 100", getPct+putPct)
+	}
+	return getPct, putPct, nil
+}
+
+func makeKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("perf-key-%08d", i))
+	}
+	return keys
+}
+
+// preload PUTs every key once so the GET side of the mix always hits.
+func preload(addr string, keys [][]byte, val []byte) error {
+	c, err := server.DialPipelined(addr, 32)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.MaxRetries = 50
+	for _, k := range keys {
+		call, err := c.PutAsync(k, val)
+		if err != nil {
+			return err
+		}
+		go func(call *server.Call) {
+			call.Wait()
+			call.Release()
+		}(call)
+	}
+	return c.Flush()
+}
+
+// inflight pairs an issued call with its submit time for the collector.
+type inflight struct {
+	call  *server.Call
+	start time.Time
+}
+
+// runLoad drives conns connections, each pipelining up to window ops, for
+// the given duration, and aggregates throughput and latency.
+func runLoad(addr string, conns, window int, keys [][]byte, val []byte, getPct, putPct int, d time.Duration) runResult {
+	type connStats struct {
+		ops, errs uint64
+		lats      []time.Duration
+	}
+	stats := make([]connStats, conns)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st := &stats[ci]
+			c, err := server.DialPipelined(addr, window)
+			if err != nil {
+				st.errs++
+				return
+			}
+			defer c.Close()
+			c.MaxRetries = 100
+			rng := rand.New(rand.NewSource(int64(ci)*7919 + 1))
+			ch := make(chan inflight, window)
+			var collectWG sync.WaitGroup
+			collectWG.Add(1)
+			go func() {
+				defer collectWG.Done()
+				for inf := range ch {
+					_, err := inf.call.Wait()
+					if err != nil {
+						st.errs++
+					} else {
+						st.ops++
+						st.lats = append(st.lats, time.Since(inf.start))
+					}
+					inf.call.Release()
+				}
+			}()
+			for time.Now().Before(deadline) {
+				key := keys[rng.Intn(len(keys))]
+				var call *server.Call
+				var err error
+				submitted := time.Now()
+				if rng.Intn(100) < getPct {
+					call, err = c.GetAsync(key)
+				} else {
+					call, err = c.PutAsync(key, val)
+				}
+				if err != nil {
+					st.errs++
+					break
+				}
+				ch <- inflight{call: call, start: submitted}
+			}
+			close(ch)
+			collectWG.Wait()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := runResult{Window: window, Seconds: elapsed.Seconds()}
+	var all []time.Duration
+	for i := range stats {
+		res.Ops += stats[i].ops
+		res.Errors += stats[i].errs
+		all = append(all, stats[i].lats...)
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(p float64) float64 {
+			idx := int(p * float64(len(all)-1))
+			return float64(all[idx]) / 1e3
+		}
+		res.P50us, res.P99us, res.P999us = pct(0.50), pct(0.99), pct(0.999)
+		res.Maxus = float64(all[len(all)-1]) / 1e3
+	}
+	return res
+}

@@ -13,6 +13,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"pmemlog/internal/prof"
 	"pmemlog/internal/server"
 	"pmemlog/internal/txn"
 )
@@ -27,8 +28,19 @@ func main() {
 		batch  = flag.Int("batch", 32, "max requests per shard batch")
 		nvram  = flag.Uint64("nvram-mb", 8, "per-shard NVRAM size in MiB")
 		logKB  = flag.Uint64("log-kb", 256, "per-shard log size in KiB")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at drain)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at drain")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof.Serve(*pprofAddr, log.Printf)
 
 	m, err := txn.ParseMode(*mode)
 	if err != nil {
@@ -55,4 +67,5 @@ func main() {
 	s := <-sig
 	log.Printf("pmserver: %v: draining", s)
 	srv.Shutdown()
+	stopProf()
 }

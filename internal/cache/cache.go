@@ -289,10 +289,14 @@ func (c *Cache) DirtyCount() int {
 //   - FLAG  {0,1}: set fwb=1 (write-back happens next pass if still dirty).
 //   - FWB   {1,1}: force the write-back via the callback, then reset to IDLE.
 //
-// The callback receives the victim and returns true when the write-back was
-// accepted; the line is then cleaned in place (it stays valid, like clwb).
+// The callback receives the victim line's address and a pointer to its
+// data (valid only for the duration of the call — the line is cleaned in
+// place, it stays valid like clwb) and returns true when the write-back
+// was accepted. Passing the line by pointer rather than as a Victim value
+// keeps the scan allocation-free: taking the address of a by-value copy
+// in the callback would force every forced write-back onto the heap.
 // The returned cycles are the tag-scan cost charged to the cache controller.
-func (c *Cache) FwbScan(writeBack func(Victim) bool) uint64 {
+func (c *Cache) FwbScan(writeBack func(addr mem.Addr, data *mem.Line) bool) uint64 {
 	c.stats.ScansRun++
 	for i := range c.lines {
 		l := &c.lines[i]
@@ -304,7 +308,7 @@ func (c *Cache) FwbScan(writeBack func(Victim) bool) uint64 {
 			l.fwb = true
 			c.stats.FwbFlagged++
 		case stateFwb:
-			if writeBack(Victim{Addr: l.tag, Data: l.data, Dirty: true}) {
+			if writeBack(l.tag, &l.data) {
 				l.dirty = false
 				l.fwb = false
 				c.stats.WriteBacks++

@@ -137,7 +137,7 @@ func TestFwbFSM(t *testing.T) {
 	c.Install(0x40, lineWith(1), true) // dirty: FLAG state
 
 	var forced []mem.Addr
-	wb := func(v Victim) bool { forced = append(forced, v.Addr); return true }
+	wb := func(addr mem.Addr, _ *mem.Line) bool { forced = append(forced, addr); return true }
 
 	// First scan: FLAG -> FWB (fwb bit set), no write-back yet.
 	c.FwbScan(wb)
@@ -168,10 +168,10 @@ func TestFwbFSM(t *testing.T) {
 func TestFwbEvictionResetsState(t *testing.T) {
 	c := mustCache(t, smallConfig("l1"))
 	c.Install(0x40, lineWith(1), true)
-	c.FwbScan(func(Victim) bool { return true }) // FLAG -> FWB
+	c.FwbScan(func(mem.Addr, *mem.Line) bool { return true }) // FLAG -> FWB
 	c.Invalidate(0x40)
 	var forced int
-	c.FwbScan(func(Victim) bool { forced++; return true })
+	c.FwbScan(func(mem.Addr, *mem.Line) bool { forced++; return true })
 	if forced != 0 {
 		t.Errorf("evicted line force-written-back %d times", forced)
 	}
@@ -181,16 +181,16 @@ func TestFwbEvictionResetsState(t *testing.T) {
 func TestFwbRedirtyRestartsFSM(t *testing.T) {
 	c := mustCache(t, smallConfig("l1"))
 	c.Install(0x40, lineWith(1), true)
-	wb := func(Victim) bool { return true }
+	wb := func(mem.Addr, *mem.Line) bool { return true }
 	c.FwbScan(wb) // FLAG->FWB
 	c.FwbScan(wb) // written back, IDLE
 	c.MarkDirty(0x40)
 	var forced int
-	c.FwbScan(func(Victim) bool { forced++; return true }) // FLAG->FWB only
+	c.FwbScan(func(mem.Addr, *mem.Line) bool { forced++; return true }) // FLAG->FWB only
 	if forced != 0 {
 		t.Error("re-dirtied line written back without a FLAG pass")
 	}
-	c.FwbScan(func(Victim) bool { forced++; return true })
+	c.FwbScan(func(mem.Addr, *mem.Line) bool { forced++; return true })
 	if forced != 1 {
 		t.Error("re-dirtied line never written back")
 	}
@@ -200,7 +200,7 @@ func TestScanCostCharged(t *testing.T) {
 	cfg := smallConfig("l1")
 	cfg.ScanCycles = 2
 	c := mustCache(t, cfg)
-	cost := c.FwbScan(func(Victim) bool { return true })
+	cost := c.FwbScan(func(mem.Addr, *mem.Line) bool { return true })
 	want := uint64(c.NumLines()) * 2
 	if cost != want {
 		t.Errorf("scan cost = %d, want %d", cost, want)

@@ -75,6 +75,13 @@ type Hierarchy struct {
 	// tracer observes FWB scan activity (nil or disabled: one branch).
 	tracer    *obs.Tracer
 	traceRing int
+
+	// fwbCB is the write-back callback handed to each cache's FwbScan,
+	// bound once at construction so periodic scans never allocate a
+	// closure. It reads fwbNow and accumulates into fwbForced.
+	fwbCB     func(addr mem.Addr, data *mem.Line) bool
+	fwbNow    uint64
+	fwbForced uint64
 }
 
 // SetTracer attaches (or with nil detaches) the obs tracer. ring is
@@ -91,6 +98,12 @@ func NewHierarchy(cfg HierarchyConfig, backing Backing) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg, backing: backing, l1Busy: make([]uint64, cfg.NumCores)}
+	h.fwbCB = func(addr mem.Addr, data *mem.Line) bool {
+		h.backing.WriteBackLine(h.fwbNow, addr, data)
+		h.fwbForced++
+		h.tracer.Emit(h.traceRing, h.fwbNow, obs.KindFwbForced, 0, uint64(addr))
+		return true
+	}
 	for i := 0; i < cfg.NumCores; i++ {
 		c, err := New(cfg.L1)
 		if err != nil {
@@ -322,23 +335,17 @@ func (h *Hierarchy) DirtyAnywhere(addr mem.Addr) bool {
 // each cache's port, delaying demand accesses that arrive during the scan —
 // this is the paper's ~3.6% tag-scanning overhead (Section VI).
 func (h *Hierarchy) FwbScan(now uint64) {
-	var forced uint64
-	wb := func(v Victim) bool {
-		h.backing.WriteBackLine(now, v.Addr, &v.Data)
-		forced++
-		h.tracer.Emit(h.traceRing, now, obs.KindFwbForced, 0, uint64(v.Addr))
-		return true
-	}
+	h.fwbNow, h.fwbForced = now, 0
 	flagged0 := h.flaggedTotal()
 	for i, c := range h.l1 {
-		cost := c.FwbScan(wb)
+		cost := c.FwbScan(h.fwbCB)
 		h.l1Busy[i] = h.startL1(now, i) + cost
 	}
-	cost := h.l2.FwbScan(wb)
+	cost := h.l2.FwbScan(h.fwbCB)
 	h.l2Busy = h.startL2(now) + cost
 	if h.tracer.Enabled() {
 		flagged := h.flaggedTotal() - flagged0
-		h.tracer.Emit(h.traceRing, now, obs.KindFwbScan, 0, forced<<32|flagged&0xffffffff)
+		h.tracer.Emit(h.traceRing, now, obs.KindFwbScan, 0, h.fwbForced<<32|flagged&0xffffffff)
 	}
 }
 

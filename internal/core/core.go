@@ -157,9 +157,46 @@ type logState struct {
 	idx      int // position in Engine.logs (reported to the truncated hook)
 	log      *nvlog.Log
 	origBase mem.Addr  // region base at creation (recovery's entry point)
-	records  []recMeta // deque mirroring [head, tail)
+	records  []recMeta // deque mirroring [head, tail); live window is records[recHead:]
+	recHead  int       // index of the oldest live record
 	dropped  uint64    // records popped since the last log.Truncate call
 	epoch    int       // completed log_grow migrations (sequence numbering era)
+}
+
+// recLen returns the number of live record mirrors.
+func (ls *logState) recLen() int { return len(ls.records) - ls.recHead }
+
+// front returns the oldest live record mirror.
+func (ls *logState) front() recMeta { return ls.records[ls.recHead] }
+
+// push appends a record mirror, compacting the dead prefix left behind by
+// pop instead of re-slicing the head (records = records[1:] would leak one
+// capacity slot per truncation and reallocate forever; compaction keeps
+// the backing array stable, so steady-state appends allocate nothing).
+func (ls *logState) push(m recMeta) {
+	if ls.recHead > 0 {
+		switch {
+		case ls.recHead == len(ls.records):
+			ls.records = ls.records[:0]
+			ls.recHead = 0
+		case ls.recHead > cap(ls.records)/2,
+			// About to grow with a reclaimable dead prefix worth at least a
+			// quarter of the array: compact instead. (A smaller prefix is
+			// not worth the copy — growing amortizes better.)
+			len(ls.records) == cap(ls.records) && ls.recHead >= cap(ls.records)/4:
+			n := copy(ls.records, ls.records[ls.recHead:])
+			ls.records = ls.records[:n]
+			ls.recHead = 0
+		}
+	}
+	ls.records = append(ls.records, m)
+}
+
+// pop removes and returns the oldest live record mirror.
+func (ls *logState) pop() recMeta {
+	m := ls.records[ls.recHead]
+	ls.recHead++
+	return m
 }
 
 // Engine is the HWL+FWB hardware.
@@ -171,6 +208,7 @@ type Engine struct {
 
 	nextHandle uint64
 	freeIDs    []uint8
+	txFree     []*Tx // recycled handles (Begin reuses instead of allocating)
 	active     map[uint64]*Tx
 	committed  map[uint64]bool
 	liveRecs   map[uint64]uint64 // handle -> live record count
@@ -381,7 +419,15 @@ func (e *Engine) Begin(now uint64, threadID uint8) (*Tx, error) {
 	id := e.freeIDs[len(e.freeIDs)-1]
 	e.freeIDs = e.freeIDs[:len(e.freeIDs)-1]
 	e.nextHandle++
-	tx := &Tx{handle: e.nextHandle, physID: id, threadID: threadID}
+	var tx *Tx
+	if n := len(e.txFree); n > 0 {
+		tx = e.txFree[n-1]
+		e.txFree = e.txFree[:n-1]
+		*tx = Tx{}
+	} else {
+		tx = &Tx{}
+	}
+	tx.handle, tx.physID, tx.threadID = e.nextHandle, id, threadID
 	e.active[tx.handle] = tx
 	e.stats.Begins++
 	return tx, nil
@@ -412,7 +458,7 @@ func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMet
 					}
 				}
 			}
-			ls.records = append(ls.records, meta)
+			ls.push(meta)
 			e.liveRecs[meta.handle]++
 			e.stats.Records++
 			return done, nil
@@ -437,7 +483,7 @@ func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMet
 func (e *Engine) unwedge(now uint64, ls *logState) (uint64, error) {
 	if e.cfg.Unsafe {
 		// No persistence guarantee: overwrite the oldest record.
-		if len(ls.records) > 0 {
+		if ls.recLen() > 0 {
 			e.dropHead(now, ls)
 			if _, err := ls.log.Truncate(1); err != nil {
 				return now, err
@@ -453,10 +499,10 @@ func (e *Engine) unwedge(now uint64, ls *logState) (uint64, error) {
 	if n := e.truncateLog(now, ls); n > 0 {
 		return now, nil
 	}
-	if len(ls.records) == 0 {
+	if ls.recLen() == 0 {
 		return now, nil
 	}
-	head := ls.records[0]
+	head := ls.front()
 	if e.committed[head.handle] {
 		// Blocked on an unpersisted line: force it out now. If the line is
 		// no longer dirty, a posted eviction is already carrying it to
@@ -609,14 +655,16 @@ func (e *Engine) Commit(now uint64, tx *Tx) (uint64, error) {
 	e.stats.Commits++
 	// Opportunistic truncation keeps the transaction's log from filling.
 	e.truncateLog(done, e.logOf(tx.threadID))
+	// The handle is dead: recycle it for the next Begin. Callers must not
+	// touch a Tx after Commit (the sim layer drops its reference).
+	e.txFree = append(e.txFree, tx)
 	return done, nil
 }
 
 func (e *Engine) dropHead(now uint64, ls *logState) {
-	meta := ls.records[0]
 	seq := ls.log.Head() + ls.dropped // sequence of the record being dropped
 	ls.dropped++
-	ls.records = ls.records[1:]
+	meta := ls.pop()
 	e.liveRecs[meta.handle]--
 	if e.liveRecs[meta.handle] == 0 {
 		wasCommitted := e.committed[meta.handle]
@@ -645,8 +693,8 @@ func (e *Engine) TryTruncate(now uint64) uint64 {
 func (e *Engine) truncateLog(now uint64, ls *logState) uint64 {
 	e.traceNow = now
 	var n uint64
-	for len(ls.records) > 0 {
-		meta := ls.records[0]
+	for ls.recLen() > 0 {
+		meta := ls.front()
 		if !e.committed[meta.handle] {
 			break
 		}

@@ -16,6 +16,9 @@
 //	                channel sends made while holding a mutex
 //	obshotpath      observability calls inside the server's shard request
 //	                loop restricted to the lock-free atomic handles
+//	noallochotpath  no per-op heap allocation (make into locals, appends
+//	                onto fresh slices) in nvlog append/truncate or the
+//	                shard apply/store hot functions
 //
 // Findings can be suppressed one-at-a-time with a `//pmlint:allow <rule>`
 // directive on the offending line or the line above (see allow.go); an
@@ -45,7 +48,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in report order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath}
+	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath, Noallochotpath}
 }
 
 // Pass carries one analyzer's view of one package.

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestNoallochotpathNvlog(t *testing.T) {
+	RunFixture(t, Noallochotpath, "noalloc/internal/nvlog")
+}
+
+func TestNoallochotpathServer(t *testing.T) {
+	RunFixture(t, Noallochotpath, "noalloc/internal/server")
+}

@@ -153,6 +153,13 @@ func (p *Physical) Read(a Addr, n int) []byte {
 	return out
 }
 
+// ReadInto copies len(dst) bytes starting at a into dst — the
+// allocation-free variant of Read for hot paths that own a scratch buffer.
+func (p *Physical) ReadInto(a Addr, dst []byte) {
+	off := p.offset(a, len(dst))
+	copy(dst, p.data[off:off+len(dst)])
+}
+
 // Write stores src starting at address a.
 func (p *Physical) Write(a Addr, src []byte) {
 	off := p.offset(a, len(src))

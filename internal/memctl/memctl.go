@@ -64,10 +64,14 @@ type Stats struct {
 }
 
 // pendingWrite records an eagerly-applied NVRAM write for crash revert.
+// The prior contents live in a fixed line-sized array (every tracked write
+// is sub-line), so recording a write allocates nothing once the pending
+// slice's capacity has warmed up.
 type pendingWrite struct {
 	done uint64
 	addr mem.Addr
-	old  []byte
+	n    int
+	old  [mem.LineSize]byte
 }
 
 // resource models k servers each busy for the duration of one request
@@ -116,6 +120,41 @@ type wslot struct {
 	since uint64 // enqueue cycle of the first record
 }
 
+// wbuf is a fixed-capacity FIFO of write-combining slots. A slice
+// re-sliced at the head (buf = buf[1:]; append) leaks one capacity slot
+// per displacement and reallocates every ~capacity appends; the ring
+// reuses its backing array forever, keeping the append path
+// allocation-free in steady state.
+type wbuf struct {
+	slots []wslot
+	head  int // index of the oldest slot
+	n     int
+}
+
+func newWbuf(capacity int) wbuf { return wbuf{slots: make([]wslot, capacity)} }
+
+func (b *wbuf) at(i int) *wslot { return &b.slots[(b.head+i)%len(b.slots)] }
+
+func (b *wbuf) newest() *wslot { return b.at(b.n - 1) }
+
+// popFront removes and returns (by value) the oldest slot.
+func (b *wbuf) popFront() wslot {
+	s := b.slots[b.head]
+	b.head = (b.head + 1) % len(b.slots)
+	b.n--
+	return s
+}
+
+// pushBack claims the next slot, zeroed and ready to fill.
+func (b *wbuf) pushBack() *wslot {
+	s := b.at(b.n)
+	b.n++
+	*s = wslot{}
+	return s
+}
+
+func (b *wbuf) reset() { b.head, b.n = 0, 0 }
+
 // Controller is the memory controller.
 type Controller struct {
 	cfg Config
@@ -124,8 +163,8 @@ type Controller struct {
 
 	rdQ, wrQ *resource
 
-	wcb    []wslot // software uncacheable-store buffer (FIFO)
-	logbuf []wslot // hardware log buffer (FIFO)
+	wcb    wbuf // software uncacheable-store buffer (FIFO ring)
+	logbuf wbuf // hardware log buffer (FIFO ring)
 
 	maxDrainDone uint64 // completion high-water mark of ALL issued drains
 
@@ -155,8 +194,10 @@ func New(cfg Config, nv *nvram.Device, dr *dram.Device) (*Controller, error) {
 	}
 	return &Controller{
 		cfg: cfg, nv: nv, dr: dr,
-		rdQ: newResource(cfg.ReadQueue),
-		wrQ: newResource(cfg.WriteQueue),
+		rdQ:    newResource(cfg.ReadQueue),
+		wrQ:    newResource(cfg.WriteQueue),
+		wcb:    newWbuf(cfg.WCBEntries),
+		logbuf: newWbuf(cfg.LogBufferEntries),
 	}, nil
 }
 
@@ -179,8 +220,12 @@ func (c *Controller) isNVRAM(addr mem.Addr) bool {
 // trackedNVWrite applies bytes at addr to the NVRAM image, recording the
 // prior contents for crash revert, with the write completing at done.
 func (c *Controller) trackedNVWrite(done uint64, addr mem.Addr, bytes []byte) {
+	if len(bytes) > mem.LineSize {
+		panic(fmt.Sprintf("memctl: tracked NVRAM write of %d bytes exceeds a line", len(bytes)))
+	}
 	img := c.nv.Image()
-	c.pending = append(c.pending, pendingWrite{done: done, addr: addr, old: img.Read(addr, len(bytes))})
+	c.pending = append(c.pending, pendingWrite{done: done, addr: addr, n: len(bytes)})
+	img.ReadInto(addr, c.pending[len(c.pending)-1].old[:len(bytes)])
 	img.Write(addr, bytes)
 }
 
@@ -281,7 +326,7 @@ func (c *Controller) drainSlot(now uint64, s *wslot) uint64 {
 // slot, otherwise drain the oldest slot (FIFO) and reuse it. Returns the
 // cycle at which the producer may continue (backpressure when the NVRAM
 // write bandwidth is saturated, the effect Figure 11(a) sweeps).
-func (c *Controller) appendBuffered(buf *[]wslot, capacity int,
+func (c *Controller) appendBuffered(buf *wbuf, capacity int,
 	now uint64, addr mem.Addr, bytes []byte, coalesced *uint64) uint64 {
 
 	if !c.isNVRAM(addr) {
@@ -308,23 +353,24 @@ func (c *Controller) appendBuffered(buf *[]wslot, capacity int,
 	// Coalesce into the newest open slot only: merging into older slots
 	// would reorder drains and could leave holes in the log's record
 	// sequence after a crash, breaking the torn-bit recovery scan.
-	if n := len(*buf); n > 0 && (*buf)[n-1].line == line {
-		s := &(*buf)[n-1]
-		copy(s.data[off:], bytes)
-		for b := 0; b < len(bytes); b++ {
-			s.mask |= 1 << uint(off+b)
+	if buf.n > 0 {
+		if s := buf.newest(); s.line == line {
+			copy(s.data[off:], bytes)
+			for b := 0; b < len(bytes); b++ {
+				s.mask |= 1 << uint(off+b)
+			}
+			if now > s.since {
+				s.since = now // the slot now carries data created at `now`
+			}
+			if coalesced != nil {
+				*coalesced++
+			}
+			return now + 1
 		}
-		if now > s.since {
-			s.since = now // the slot now carries data created at `now`
-		}
-		if coalesced != nil {
-			*coalesced++
-		}
-		return now + 1
 	}
 
 	stall := now
-	if len(*buf) >= capacity {
+	if buf.n >= capacity {
 		// FIFO displacement: drain the oldest slot. The producer stalls
 		// until the drain *starts* (the slot is then free) — which can
 		// exceed `now` only when the write queue itself is saturated.
@@ -333,19 +379,17 @@ func (c *Controller) appendBuffered(buf *[]wslot, capacity int,
 			c.stats.LogBufStalls++
 			c.tracer.Emit(c.traceRing, now, obs.KindBufStall, 0, drainStart-now)
 		}
-		oldest := (*buf)[0]
-		*buf = (*buf)[1:]
+		oldest := buf.popFront()
 		c.drainSlot(now, &oldest)
 		stall = drainStart
 	}
-	var s wslot
+	s := buf.pushBack()
 	s.line = line
 	s.since = now
 	copy(s.data[off:], bytes)
 	for i := 0; i < len(bytes); i++ {
 		s.mask |= 1 << uint(off+i)
 	}
-	*buf = append(*buf, s)
 	return stall + 1
 }
 
@@ -377,15 +421,15 @@ func (c *Controller) AppendLog(now uint64, addr mem.Addr, bytes []byte) uint64 {
 // (or a data write-back, which uses the same interlock) can never be
 // ordered after a lost record.
 func (c *Controller) DrainBuffers(now uint64) uint64 {
-	for i := range c.wcb {
-		c.drainSlot(now, &c.wcb[i])
+	for i := 0; i < c.wcb.n; i++ {
+		c.drainSlot(now, c.wcb.at(i))
 		c.stats.WCBDrains++
 	}
-	c.wcb = c.wcb[:0]
-	for i := range c.logbuf {
-		c.drainSlot(now, &c.logbuf[i])
+	c.wcb.reset()
+	for i := 0; i < c.logbuf.n; i++ {
+		c.drainSlot(now, c.logbuf.at(i))
 	}
-	c.logbuf = c.logbuf[:0]
+	c.logbuf.reset()
 	if c.maxDrainDone > now {
 		return c.maxDrainDone
 	}
@@ -404,7 +448,7 @@ func (c *Controller) LogDrainDone() uint64 { return c.maxDrainDone }
 func (c *Controller) InFlightLine(addr mem.Addr, now uint64) bool {
 	line := addr.Line()
 	for i := len(c.pending) - 1; i >= 0; i-- {
-		p := c.pending[i]
+		p := &c.pending[i]
 		if p.done > now && p.addr.Line() == line {
 			return true
 		}
@@ -432,9 +476,9 @@ func (c *Controller) Retire(safeCycle uint64) {
 		return
 	}
 	kept := c.pending[:0]
-	for _, p := range c.pending {
-		if p.done > safeCycle {
-			kept = append(kept, p)
+	for i := range c.pending {
+		if c.pending[i].done > safeCycle {
+			kept = append(kept, c.pending[i])
 		}
 	}
 	c.pending = kept
@@ -446,14 +490,14 @@ func (c *Controller) Retire(safeCycle uint64) {
 // overlapping writes correctly). Returns the number of reverted writes.
 // DRAM contents are cleared by the caller via the dram device.
 func (c *Controller) Crash(atCycle uint64) int {
-	c.wcb = c.wcb[:0]
-	c.logbuf = c.logbuf[:0]
+	c.wcb.reset()
+	c.logbuf.reset()
 	img := c.nv.Image()
 	reverted := 0
 	for i := len(c.pending) - 1; i >= 0; i-- {
-		p := c.pending[i]
+		p := &c.pending[i]
 		if p.done > atCycle {
-			img.Write(p.addr, p.old)
+			img.Write(p.addr, p.old[:p.n])
 			reverted++
 		}
 	}

@@ -1,0 +1,122 @@
+package nvlog
+
+import (
+	"testing"
+
+	"pmemlog/internal/mem"
+)
+
+func allocTestLog(t testing.TB) *Log {
+	t.Helper()
+	l, _, err := New(Config{
+		Base:      mem.Addr(1) << 32,
+		SizeBytes: 64 << 10,
+		Style:     UndoRedo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// consume simulates what the memory controller does with the functional
+// writes: it reads every byte synchronously, so the scratch buffers are
+// free for reuse by the next call (the Write aliasing contract).
+func consume(writes []Write) (sum byte) {
+	for _, w := range writes {
+		for _, b := range w.Bytes {
+			sum += b
+		}
+	}
+	return sum
+}
+
+// TestPrepareAppendZeroAlloc is the hot-path allocation guard for the log
+// append encode path: a steady-state append (including the periodic tail
+// metadata sync and head-sync writes after truncation) must not allocate.
+func TestPrepareAppendZeroAlloc(t *testing.T) {
+	l := allocTestLog(t)
+	e := Entry{Kind: KindUpdate, TxID: 7, ThreadID: 1, Addr: 1 << 33, Undo: 1, Redo: 2}
+	var sink byte
+	allocs := testing.AllocsPerRun(2000, func() {
+		if l.Full() {
+			w, err := l.Truncate(l.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink += consume(w)
+		}
+		w, err := l.PrepareAppend(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += consume(w)
+	})
+	if allocs != 0 {
+		t.Fatalf("PrepareAppend/Truncate cycle allocates %.1f objects/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestEncodeIntoZeroAlloc guards the record serializer itself.
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	var buf [FullEntrySize]byte
+	e := Entry{Kind: KindCommit, TxID: 3, Addr: 1 << 33, Undo: 9, Redo: 10}
+	allocs := testing.AllocsPerRun(1000, func() {
+		EncodeInto(buf[:], e, UndoRedo, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestScratchWritesConsumedBeforeReuse documents the aliasing contract:
+// the bytes returned by PrepareAppend are rewritten by the next call.
+func TestScratchWritesConsumedBeforeReuse(t *testing.T) {
+	l := allocTestLog(t)
+	w1, err := l.PrepareAppend(Entry{Kind: KindUpdate, TxID: 1, Addr: 1 << 33, Undo: 0x11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1 := w1[len(w1)-1].Bytes
+	var before [FullEntrySize]byte
+	copy(before[:], rec1)
+	if _, err := l.PrepareAppend(Entry{Kind: KindUpdate, TxID: 2, Addr: 1 << 34, Undo: 0x22}); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range before {
+		if rec1[i] != before[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("second PrepareAppend left the first record's scratch bytes untouched; expected reuse (did the scratch encoder regress to per-call allocation?)")
+	}
+}
+
+// BenchmarkLogAppend measures the wall-clock cost of the append encode
+// path (slot claim + record encode + periodic metadata sync).
+func BenchmarkLogAppend(b *testing.B) {
+	l := allocTestLog(b)
+	e := Entry{Kind: KindUpdate, TxID: 7, ThreadID: 1, Addr: 1 << 33, Undo: 1, Redo: 2}
+	var sink byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.Full() {
+			w, err := l.Truncate(l.Len())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += consume(w)
+		}
+		w, err := l.PrepareAppend(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += consume(w)
+	}
+	_ = sink
+}

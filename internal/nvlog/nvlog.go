@@ -92,6 +92,14 @@ type Entry struct {
 
 // Write is a functional NVRAM write the caller must apply (through the
 // memory controller's tracked path) to make an append or truncate durable.
+//
+// ALIASING CONTRACT: Bytes returned by PrepareAppend and Truncate alias
+// scratch buffers owned by the Log (the zero-allocation append path) and
+// are valid only until the next PrepareAppend/Truncate/Grow call on that
+// Log. Callers must consume them (hand them to the memory controller,
+// which copies) before appending again; both the hardware engine and the
+// software append path do. Writes returned by New and Grow are
+// independently allocated and do not expire.
 type Write struct {
 	Addr  mem.Addr
 	Bytes []byte
@@ -105,6 +113,15 @@ type Write struct {
 // pointer persistence one bit suffices; see DESIGN.md).
 func Encode(e Entry, style Style, pass uint64) []byte {
 	buf := make([]byte, style.EntrySize())
+	EncodeInto(buf, e, style, pass)
+	return buf
+}
+
+// EncodeInto serializes e into buf, which must hold at least
+// style.EntrySize() bytes. Every byte of the record is written (reserved
+// bytes are cleared), so a reused scratch buffer cannot leak a previous
+// record's contents.
+func EncodeInto(buf []byte, e Entry, style Style, pass uint64) {
 	flags := e.Kind << 1
 	if pass%2 == 1 {
 		flags |= 1 // the torn bit
@@ -116,20 +133,23 @@ func Encode(e Entry, style Style, pass uint64) []byte {
 	buf[4] = magic0
 	buf[5] = magic1
 	buf[6] = byte(pass)
+	buf[7] = 0 // reserved
 	a := uint64(e.Addr)
 	for i := 0; i < 6; i++ { // 48-bit address
 		buf[8+i] = byte(a >> (8 * i))
 	}
+	buf[14], buf[15] = 0, 0 // reserved
 	switch style {
 	case UndoRedo:
 		putWord(buf[16:24], e.Undo)
 		putWord(buf[24:32], e.Redo)
 	case UndoOnly:
 		putWord(buf[16:24], e.Undo)
+		putWord(buf[24:32], 0)
 	case RedoOnly:
 		putWord(buf[16:24], e.Redo)
+		putWord(buf[24:32], 0)
 	}
-	return buf
 }
 
 // Decode parses a record. It returns the entry, its pass stamp (whose low
@@ -245,6 +265,23 @@ type Log struct {
 	// lands, which is exactly the hazard the reuse rule exists to prevent.
 	headDurable uint64
 
+	// Zero-allocation append scratch: PrepareAppend/Truncate encode into
+	// these caller-visible buffers instead of allocating per record (see
+	// the Write aliasing contract). scratchSlot holds the record (padded
+	// to a full line under LineAligned — the pad bytes are written once at
+	// zero and never touched again); the two metadata buffers keep a
+	// head-sync write and a periodic tail-sync write alive in the same
+	// batch; scratchWrites backs the returned slice (at most head-meta +
+	// record + tail-meta).
+	scratchSlot     [mem.LineSize]byte
+	scratchHeadMeta [MetaSize]byte
+	scratchTailMeta [MetaSize]byte
+	scratchWrites   [3]Write
+	// scratchEntry stages the entry handed to trace hooks: passing &e of
+	// the parameter directly would make every call heap-allocate it, even
+	// with tracing disabled (escape analysis is static).
+	scratchEntry Entry
+
 	// Statistics.
 	appends   uint64
 	truncates uint64
@@ -347,7 +384,12 @@ func (l *Log) SlotAddr(seq uint64) mem.Addr {
 func (l *Log) pass(seq uint64) uint64 { return seq / l.Capacity() }
 
 func (l *Log) metaWrite() Write {
-	buf := make([]byte, MetaSize)
+	return l.metaWriteInto(make([]byte, MetaSize))
+}
+
+// metaWriteInto encodes the metadata block into buf (MetaSize bytes,
+// typically one of the Log's scratch buffers) and returns the Write.
+func (l *Log) metaWriteInto(buf []byte) Write {
 	buf[0] = magic0
 	buf[1] = magic1
 	putWord(buf[8:16], mem.Word(l.head))
@@ -356,6 +398,8 @@ func (l *Log) metaWrite() Write {
 	buf[32] = byte(l.cfg.Style)
 	if l.cfg.LineAligned {
 		buf[33] = 1
+	} else {
+		buf[33] = 0
 	}
 	l.metaSyncs++
 	return Write{Addr: l.cfg.Base, Bytes: buf}
@@ -367,7 +411,8 @@ func (l *Log) metaWrite() Write {
 func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
 	if l.Full() {
 		if l.trace != nil {
-			l.trace(TraceFull, l.tail, &e)
+			l.scratchEntry = e
+			l.trace(TraceFull, l.tail, &l.scratchEntry)
 		}
 		return nil, ErrFull
 	}
@@ -376,9 +421,10 @@ func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
 		if seq > 0 && seq%l.Capacity() == 0 {
 			l.trace(TraceWrap, l.pass(seq), nil)
 		}
-		l.trace(TraceAppend, seq, &e)
+		l.scratchEntry = e
+		l.trace(TraceAppend, seq, &l.scratchEntry)
 	}
-	var writes []Write
+	writes := l.scratchWrites[:0]
 	// Reusing a slot that a post-crash scan would still trust (its old
 	// sequence number is at or past the last BARRIERED durable head)
 	// requires persisting the advanced head first. CONTRACT: when the
@@ -388,17 +434,14 @@ func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
 	// both do). Only then may headDurable advance.
 	if seq >= l.Capacity() && seq-l.Capacity() >= l.headDurable {
 		l.truncReserved = 0
-		writes = append(writes, l.metaWrite())
+		writes = append(writes, l.metaWriteInto(l.scratchHeadMeta[:]))
 		l.headDurable = l.head
 	}
-	payload := Encode(e, l.cfg.Style, l.pass(seq))
-	if l.cfg.LineAligned {
-		// A padded software log entry is written as its full line-sized
-		// struct (the padding is part of the store).
-		padded := make([]byte, l.cfg.SlotSize())
-		copy(padded, payload)
-		payload = padded
-	}
+	// A padded (LineAligned) entry is written as its full line-sized
+	// struct; EncodeInto covers every entry byte and the scratch pad
+	// bytes beyond it are permanently zero, so slot reuse is exact.
+	payload := l.scratchSlot[:l.cfg.SlotSize()]
+	EncodeInto(payload, e, l.cfg.Style, l.pass(seq))
 	w := Write{Addr: l.SlotAddr(seq), Bytes: payload}
 	l.tail++
 	l.appends++
@@ -406,7 +449,7 @@ func (l *Log) PrepareAppend(e Entry) ([]Write, error) {
 	writes = append(writes, w)
 	if l.appendsSince >= l.cfg.MetaEvery {
 		l.appendsSince = 0
-		writes = append(writes, l.metaWrite())
+		writes = append(writes, l.metaWriteInto(l.scratchTailMeta[:]))
 	}
 	return writes, nil
 }
@@ -431,7 +474,9 @@ func (l *Log) Truncate(n uint64) ([]Write, error) {
 	}
 	if l.truncReserved >= l.cfg.MetaEvery {
 		l.truncReserved = 0
-		return []Write{l.metaWrite()}, nil
+		writes := l.scratchWrites[:0]
+		writes = append(writes, l.metaWriteInto(l.scratchTailMeta[:]))
+		return writes, nil
 	}
 	return nil, nil
 }
@@ -478,7 +523,12 @@ func (l *Log) Grow(img *mem.Physical, newCfg Config) ([]Write, error) {
 		if err != nil {
 			return nil, err
 		}
-		writes = append(writes, ws...)
+		// PrepareAppend's writes alias the log's scratch buffers and expire
+		// at the next call; migration accumulates across calls, so deep-copy
+		// (grow is a cold path — allocation is fine here).
+		for _, w := range ws {
+			writes = append(writes, Write{Addr: w.Addr, Bytes: append([]byte(nil), w.Bytes...)})
+		}
 	}
 	l.grows++
 	writes = append(writes, l.metaWrite())

@@ -1,0 +1,64 @@
+// Package prof wires the standard pprof profilers into the command-line
+// tools. All profiling is opt-in: with empty paths Start is a no-op, so
+// the binaries pay nothing unless a -cpuprofile / -memprofile flag is set.
+package prof
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
+// heap profile to be written to memPath (if non-empty). The returned stop
+// function flushes both; call it exactly once, on the way out (defer it
+// from main, or call it from a signal handler before exiting).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
+
+// Serve exposes the net/http/pprof handlers on addr when addr is
+// non-empty (off by default: the listener only exists when asked for).
+// Intended for long-running servers; errors are reported via errf rather
+// than killing the process, since profiling is never load-bearing.
+func Serve(addr string, errf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			errf("prof: pprof listener: %v", err)
+		}
+	}()
+}

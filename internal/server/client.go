@@ -5,23 +5,64 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
-// Client is a blocking, single-stream pmserver client. It is not safe for
-// concurrent use; open one Client per connection (pmload opens one per
-// simulated user).
+// Client is a pmserver client. The synchronous methods (Get/Put/Del/Txn/
+// Stats/Metrics) behave exactly as they always have — one request in
+// flight, blocking until the answer arrives — and are not safe for
+// concurrent use on a window-1 client from Dial.
+//
+// A client from DialPipelined keeps up to window requests in flight on
+// the one connection: GetAsync/PutAsync/DelAsync/TxnAsync return a Call
+// immediately (blocking only when the window is full), a background
+// reader matches responses to calls by sequence number (the server
+// answers in completion order, not submission order), and Call.Wait
+// collects the result. A pipelined client's methods may be used from
+// multiple goroutines.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	out  []byte
+	conn   net.Conn
+	br     *bufio.Reader
+	window int
+
+	// Writer state: one frame build buffer, serialized by wmu so frames
+	// from concurrent senders never interleave on the wire.
+	wmu  sync.Mutex
+	wbuf []byte
+
+	// In-flight bookkeeping.
+	mu      sync.Mutex
+	seq     uint32
+	pending map[uint32]*Call
+	closed  error // transport/protocol failure; sticky
+
+	tokens     chan struct{} // in-flight window semaphore
+	readerDone chan struct{} // closed when the read loop exits
 
 	// MaxRetries bounds automatic retry on StatusRetry backpressure
 	// (sleeping the server-suggested delay between attempts). Zero means
 	// backpressure surfaces as ErrRetry and the caller schedules the retry.
 	MaxRetries int
 }
+
+// Call is one in-flight pipelined request. Exactly one completion is
+// delivered: after Wait returns, Resp and Err are stable.
+type Call struct {
+	c        *Client
+	seq      uint32
+	attempts int
+	body     []byte // encoded request body (kept for retry resend)
+	val      []byte // response value copy (owned by this Call)
+	done     chan struct{}
+
+	Resp Response
+	Err  error
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &Call{done: make(chan struct{}, 1)}
+}}
 
 // ErrRetry reports server backpressure to callers that manage their own
 // retry policy.
@@ -36,54 +77,262 @@ type ErrServer struct{ Msg string }
 
 func (e ErrServer) Error() string { return e.Msg }
 
-// Dial connects to a pmserver.
+// Dial connects to a pmserver with a synchronous (window 1) client.
 func Dial(addr string) (*Client, error) {
+	return DialPipelined(addr, 1)
+}
+
+// DialPipelined connects with up to window requests in flight.
+func DialPipelined(addr string, window int) (*Client, error) {
+	if window < 1 {
+		window = 1
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-	}, nil
+	c := &Client{
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		window:     window,
+		pending:    make(map[uint32]*Call, window),
+		tokens:     make(chan struct{}, window),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
-// Close tears the connection down.
+// Close tears the connection down. In-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request and decodes one response, honoring the
-// retry policy.
+// Window reports the client's in-flight window size.
+func (c *Client) Window() int { return c.window }
+
+// start encodes req, assigns it the next sequence number, registers it,
+// and sends it. It blocks while the in-flight window is full.
+func (c *Client) start(req *Request) (*Call, error) {
+	select {
+	case c.tokens <- struct{}{}:
+	case <-c.readerDone:
+		return nil, c.err()
+	}
+	call := callPool.Get().(*Call)
+	call.c, call.attempts, call.Err = c, 0, nil
+	call.Resp = Response{}
+
+	c.mu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.mu.Unlock()
+		<-c.tokens
+		callPool.Put(call)
+		return nil, err
+	}
+	call.seq = c.seq
+	c.seq++
+	req.Seq = call.seq
+	body, err := EncodeRequest(call.body[:0], req)
+	if err != nil {
+		c.mu.Unlock()
+		<-c.tokens
+		callPool.Put(call)
+		return nil, err
+	}
+	call.body = body
+	c.pending[call.seq] = call
+	c.mu.Unlock()
+
+	if err := c.send(call); err != nil {
+		c.failAll(err)
+		return nil, err
+	}
+	return call, nil
+}
+
+// send writes call's frame ([len][body]) with a single Write.
+func (c *Client) send(call *Call) error {
+	c.wmu.Lock()
+	c.wbuf = AppendFrame(c.wbuf[:0], call.body)
+	_, err := c.conn.Write(c.wbuf)
+	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed != nil {
+		return c.closed
+	}
+	return fmt.Errorf("server: client closed")
+}
+
+// failAll marks the client dead and fails every pending call.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.closed == nil {
+		c.closed = err
+	}
+	err = c.closed
+	var calls []*Call
+	for seq, call := range c.pending {
+		delete(c.pending, seq)
+		calls = append(calls, call)
+	}
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.Err = err
+		call.done <- struct{}{}
+		<-c.tokens
+	}
+}
+
+// readLoop matches responses to pending calls by sequence number,
+// transparently resending StatusRetry'd requests up to MaxRetries.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	var resp Response
+	for {
+		body, err := ReadFrameInto(c.br, buf, MaxFrame)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		buf = body[:cap(body)]
+		if err := DecodeResponseInto(&resp, body); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if call == nil {
+			c.failAll(fmt.Errorf("server: response for unknown seq %d", resp.Seq))
+			return
+		}
+		if resp.Status == StatusRetry && call.attempts < c.MaxRetries {
+			call.attempts++
+			after := time.Duration(resp.RetryAfterMs) * time.Millisecond
+			c.mu.Lock()
+			if c.closed != nil {
+				err := c.closed
+				c.mu.Unlock()
+				call.Err = err
+				call.done <- struct{}{}
+				<-c.tokens
+				continue
+			}
+			c.pending[call.seq] = call
+			c.mu.Unlock()
+			go func(call *Call, after time.Duration) {
+				time.Sleep(after)
+				if err := c.send(call); err != nil {
+					c.failAll(err)
+				}
+			}(call, after)
+			continue
+		}
+		// resp.Val aliases the read buffer (reused next iteration): copy
+		// into the call's own reusable buffer before handing it over.
+		call.Resp = resp
+		if resp.Val != nil {
+			call.val = append(call.val[:0], resp.Val...)
+			call.Resp.Val = call.val
+		}
+		if resp.Status == StatusRetry {
+			call.Err = ErrRetry{After: time.Duration(resp.RetryAfterMs) * time.Millisecond}
+		}
+		call.done <- struct{}{}
+		<-c.tokens
+	}
+}
+
+// Wait blocks until the call completes. The returned Response is owned by
+// the Call: it is valid until Release.
+func (call *Call) Wait() (*Response, error) {
+	<-call.done
+	if call.Err != nil {
+		return nil, call.Err
+	}
+	return &call.Resp, nil
+}
+
+// Release recycles a completed call (after Wait). The call and its
+// Response must not be touched afterwards. Optional — an unreleased call
+// is simply garbage collected — but steady-state release keeps the
+// pipelined hot path allocation free.
+func (call *Call) Release() {
+	call.c = nil
+	call.Resp = Response{}
+	call.Err = nil
+	callPool.Put(call)
+}
+
+// GetAsync starts a pipelined GET.
+func (c *Client) GetAsync(key []byte) (*Call, error) {
+	return c.start(&Request{Code: OpGet, Key: key})
+}
+
+// PutAsync starts a pipelined durable PUT.
+func (c *Client) PutAsync(key, val []byte) (*Call, error) {
+	return c.start(&Request{Code: OpPut, Key: key, Val: val})
+}
+
+// DelAsync starts a pipelined DEL.
+func (c *Client) DelAsync(key []byte) (*Call, error) {
+	return c.start(&Request{Code: OpDel, Key: key})
+}
+
+// TxnAsync starts a pipelined atomic batch.
+func (c *Client) TxnAsync(ops []Op) (*Call, error) {
+	return c.start(&Request{Code: OpTxn, Ops: ops})
+}
+
+// Flush blocks until every in-flight request has completed (the window is
+// empty). It does not prevent concurrent senders from starting new work
+// while it drains.
+func (c *Client) Flush() error {
+	for i := 0; i < c.window; i++ {
+		select {
+		case c.tokens <- struct{}{}:
+		case <-c.readerDone:
+			return c.err()
+		}
+	}
+	for i := 0; i < c.window; i++ {
+		<-c.tokens
+	}
+	return nil
+}
+
+// roundTrip sends one request and waits for its response.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
-	body, err := EncodeRequest(c.out[:0], req)
+	call, err := c.start(req)
 	if err != nil {
 		return nil, err
 	}
-	c.out = body // keep the grown buffer
-	for attempt := 0; ; attempt++ {
-		if err := WriteFrame(c.bw, body); err != nil {
-			return nil, err
-		}
-		if err := c.bw.Flush(); err != nil {
-			return nil, err
-		}
-		rb, err := ReadFrame(c.br, MaxFrame)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := DecodeResponse(rb)
-		if err != nil {
-			return nil, err
-		}
-		if resp.Status != StatusRetry {
-			return resp, nil
-		}
-		after := time.Duration(resp.RetryAfterMs) * time.Millisecond
-		if attempt >= c.MaxRetries {
-			return nil, ErrRetry{After: after}
-		}
-		time.Sleep(after)
+	<-call.done
+	if call.Err != nil {
+		err := call.Err
+		callPool.Put(resetCall(call))
+		return nil, err
 	}
+	resp := call.Resp
+	// Hand Val's ownership to the caller (the old synchronous client
+	// returned a caller-owned slice).
+	call.val = nil
+	callPool.Put(resetCall(call))
+	return &resp, nil
+}
+
+func resetCall(call *Call) *Call {
+	call.c = nil
+	call.Resp = Response{}
+	call.Err = nil
+	return call
 }
 
 // Get fetches a key; found=false means the key does not exist.

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestClientPipelinedOutOfOrder proves the client's seq-number matching:
+// a server that answers a whole window of requests in *reverse* arrival
+// order must still deliver each response to the call that issued it.
+// (The real server completes requests in shard order, not submission
+// order, so this path is load-bearing; run with -race.)
+func TestClientPipelinedOutOfOrder(t *testing.T) {
+	const window = 8
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		// Read a full window of requests, then answer them newest-first,
+		// echoing each request's key back as the value.
+		reqs := make([]Request, window)
+		for i := range reqs {
+			body, err := ReadFrame(br, MaxFrame)
+			if err != nil {
+				srvErr <- err
+				return
+			}
+			if err := DecodeRequestInto(&reqs[i], body); err != nil {
+				srvErr <- err
+				return
+			}
+			// Key aliases the frame body; copy before the next read.
+			reqs[i].Key = append([]byte(nil), reqs[i].Key...)
+		}
+		for i := window - 1; i >= 0; i-- {
+			body := EncodeResponse(nil, &Response{Status: StatusOK, Seq: reqs[i].Seq, Val: reqs[i].Key})
+			if _, err := conn.Write(AppendFrame(nil, body)); err != nil {
+				srvErr <- err
+				return
+			}
+		}
+		srvErr <- nil
+	}()
+
+	c, err := DialPipelined(ln.Addr().String(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	calls := make([]*Call, window)
+	keys := make([][]byte, window)
+	for i := range calls {
+		keys[i] = []byte(fmt.Sprintf("ooo-key-%02d", i))
+		if calls[i], err = c.GetAsync(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp.Val, keys[i]) {
+			t.Fatalf("call %d: got %q, want %q (response routed to wrong call)", i, resp.Val, keys[i])
+		}
+		call.Release()
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatalf("fake server: %v", err)
+	}
+}
+
+// TestClientPipelinedConcurrentSenders hammers one pipelined client from
+// several goroutines against the real server (run with -race): every
+// sender must read back exactly the value it wrote.
+func TestClientPipelinedConcurrentSenders(t *testing.T) {
+	srv, err := Start(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := DialPipelined(srv.Addr(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 64
+
+	const senders, opsPerSender = 4, 64
+	var wg sync.WaitGroup
+	errs := make(chan error, senders)
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < opsPerSender; i++ {
+				key := []byte(fmt.Sprintf("conc-%d-%d", s, i))
+				val := []byte(fmt.Sprintf("val-%d-%d", s, i))
+				put, err := c.PutAsync(key, val)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := put.Wait(); err != nil {
+					errs <- fmt.Errorf("put %s: %w", key, err)
+					return
+				}
+				put.Release()
+				got, found, err := c.Get(key)
+				if err != nil || !found || !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("get %s: %q found=%v err=%v", key, got, found, err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// benchServer boots a server sized for throughput benchmarking.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	cfg := testConfig(b.TempDir())
+	cfg.Shards = 4
+	cfg.QueueDepth = 1024
+	srv, err := Start(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Shutdown() })
+	return srv
+}
+
+// BenchmarkClientSync measures the classic one-in-flight client: every op
+// pays a full network round trip before the next starts. This is the
+// baseline the pipelined client is judged against.
+func BenchmarkClientSync(b *testing.B) {
+	srv := benchServer(b)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 64
+	key, val := []byte("bench-sync-key"), bytes.Repeat([]byte{'v'}, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientPipelined keeps a 16-deep window in flight on one
+// connection; a collector goroutine retires completions while the
+// benchmark loop keeps the pipe full. The ISSUE acceptance bar is ≥2×
+// BenchmarkClientSync ops/s.
+func BenchmarkClientPipelined(b *testing.B) {
+	srv := benchServer(b)
+	c, err := DialPipelined(srv.Addr(), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 64
+	key, val := []byte("bench-pipe-key"), bytes.Repeat([]byte{'v'}, 64)
+
+	calls := make(chan *Call, 2*c.Window())
+	collectErr := make(chan error, 1)
+	go func() {
+		for call := range calls {
+			if _, err := call.Wait(); err != nil {
+				collectErr <- err
+				return
+			}
+			call.Release()
+		}
+		collectErr <- nil
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call, err := c.PutAsync(key, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls <- call
+	}
+	close(calls)
+	if err := <-collectErr; err != nil {
+		b.Fatal(err)
+	}
+}

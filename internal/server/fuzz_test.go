@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest: arbitrary bytes must never panic, and anything that
+// decodes must survive an encode → decode round trip unchanged (Seq
+// included — the pipelined client depends on it being echoed exactly).
+// DecodeRequestInto with a dirty reused Request must agree with a fresh
+// DecodeRequest, since the connection reader reuses one Request per conn.
+func FuzzDecodeRequest(f *testing.F) {
+	seed := []*Request{
+		{Code: OpGet, Seq: 7, Key: []byte("k")},
+		{Code: OpPut, Seq: 1 << 30, Key: []byte("k"), Val: []byte("v")},
+		{Code: OpDel, Seq: 0, Key: []byte("k")},
+		{Code: OpTxn, Seq: 42, Ops: []Op{
+			{Code: OpPut, Key: []byte("a"), Val: []byte("1")},
+			{Code: OpDel, Key: []byte("b")},
+		}},
+		{Code: OpStats, Seq: 9},
+		{Code: OpMetrics, Seq: 10},
+	}
+	for _, r := range seed {
+		body, err := EncodeRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{OpTxn, 0, 0, 0, 0, 0xff, 0xff})
+
+	// reused persists across fuzz iterations, emulating the server's
+	// per-connection Request reuse under adversarial interleavings.
+	var reused Request
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fresh, err := DecodeRequest(body)
+		if err2 := DecodeRequestInto(&reused, body); (err == nil) != (err2 == nil) {
+			t.Fatalf("fresh decode err=%v, reused decode err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if !requestsEqual(fresh, &reused) {
+			t.Fatalf("reused decode %+v != fresh decode %+v", reused, *fresh)
+		}
+		re, err := EncodeRequest(nil, fresh)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v (%+v)", err, fresh)
+		}
+		back, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !requestsEqual(fresh, back) {
+			t.Fatalf("round trip changed request: %+v -> %+v", fresh, back)
+		}
+	})
+}
+
+func requestsEqual(a, b *Request) bool {
+	if a.Code != b.Code || a.Seq != b.Seq ||
+		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Val, b.Val) || len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Code != b.Ops[i].Code ||
+			!bytes.Equal(a.Ops[i].Key, b.Ops[i].Key) || !bytes.Equal(a.Ops[i].Val, b.Ops[i].Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzDecodeResponse: arbitrary bytes must never panic, and anything that
+// decodes must survive an encode → decode round trip with Seq, status and
+// payload intact.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, r := range []*Response{
+		{Status: StatusOK, Seq: 3, Val: []byte("v")},
+		{Status: StatusOK, Seq: 1 << 31, Val: nil},
+		{Status: StatusNotFound, Seq: 8},
+		{Status: StatusRetry, Seq: 5, RetryAfterMs: 250},
+		{Status: StatusErr, Seq: 6, Err: "boom"},
+	} {
+		f.Add(EncodeResponse(nil, r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{StatusErr, 0, 0, 0, 0, 0xff, 0xff})
+
+	var reused Response
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fresh, err := DecodeResponse(body)
+		if err2 := DecodeResponseInto(&reused, body); (err == nil) != (err2 == nil) {
+			t.Fatalf("fresh decode err=%v, reused decode err=%v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if fresh.Status != reused.Status || fresh.Seq != reused.Seq ||
+			!bytes.Equal(fresh.Val, reused.Val) ||
+			fresh.RetryAfterMs != reused.RetryAfterMs || fresh.Err != reused.Err {
+			t.Fatalf("reused decode %+v != fresh decode %+v", reused, *fresh)
+		}
+		back, err := DecodeResponse(EncodeResponse(nil, fresh))
+		if err != nil {
+			t.Fatalf("re-encoded response does not decode: %v", err)
+		}
+		if back.Status != fresh.Status || back.Seq != fresh.Seq ||
+			!bytes.Equal(back.Val, fresh.Val) ||
+			back.RetryAfterMs != fresh.RetryAfterMs || back.Err != fresh.Err {
+			t.Fatalf("round trip changed response: %+v -> %+v", fresh, back)
+		}
+	})
+}

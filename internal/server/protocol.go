@@ -52,9 +52,13 @@ type Op struct {
 	Val  []byte // OpPut only
 }
 
-// Request is one decoded client request.
+// Request is one decoded client request. Seq is a connection-scoped
+// sequence number echoed verbatim in the matching Response, which lets a
+// pipelined client keep many requests in flight on one connection and
+// match completions without assuming in-order delivery.
 type Request struct {
 	Code byte
+	Seq  uint32
 	Key  []byte // GET/PUT/DEL
 	Val  []byte // PUT
 	Ops  []Op   // TXN
@@ -63,12 +67,19 @@ type Request struct {
 // Response is one decoded server response.
 type Response struct {
 	Status       byte
+	Seq          uint32 // echo of Request.Seq
 	Val          []byte // StatusOK payload (GET value, STATS JSON; empty otherwise)
 	RetryAfterMs uint32 // StatusRetry
 	Err          string // StatusErr
 }
 
 // WriteFrame writes one length-prefixed frame.
+//
+// It issues two Write calls (header, then body), so w MUST be buffered
+// (a *bufio.Writer) when used on a socket — otherwise every frame costs
+// two syscalls and, worse, two TCP segments under TCP_NODELAY. Hot paths
+// should instead build [4-byte len][body] in one reusable buffer via
+// AppendFrame and issue a single Write.
 func WriteFrame(w io.Writer, body []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -79,17 +90,35 @@ func WriteFrame(w io.Writer, body []byte) error {
 	return err
 }
 
+// AppendFrame appends a complete length-prefixed frame (header + body) to
+// buf and returns the extended slice, for sending with a single Write.
+func AppendFrame(buf, body []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	return append(buf, body...)
+}
+
 // ReadFrame reads one length-prefixed frame, rejecting bodies over max.
 func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	return ReadFrameInto(r, nil, max)
+}
+
+// ReadFrameInto reads one length-prefixed frame into buf (grown if
+// needed), rejecting bodies over max. The returned slice aliases buf's
+// backing array when it fits, so a caller that reuses buf across calls
+// reads frames without per-frame allocation.
+func ReadFrameInto(r io.Reader, buf []byte, max int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if int(n) > max {
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > max {
 		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
 	}
-	body := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
@@ -111,6 +140,7 @@ func appendVal(buf, val []byte) []byte {
 // EncodeRequest appends the request's wire body to buf.
 func EncodeRequest(buf []byte, r *Request) ([]byte, error) {
 	buf = append(buf, r.Code)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Seq)
 	switch r.Code {
 	case OpGet, OpDel:
 		if err := checkKey(r.Key); err != nil {
@@ -238,67 +268,88 @@ func (c *cursor) val() ([]byte, error) {
 
 // DecodeRequest parses a request wire body.
 func DecodeRequest(body []byte) (*Request, error) {
+	r := &Request{}
+	if err := DecodeRequestInto(r, body); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeRequestInto parses a request wire body into r, reusing r's Ops
+// slice capacity across calls. Key/Val/Ops fields alias body, so the
+// caller must not recycle body while r is live.
+func DecodeRequestInto(r *Request, body []byte) error {
 	c := &cursor{b: body}
 	code, err := c.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &Request{Code: code}
+	ops := r.Ops
+	*r = Request{Code: code, Ops: ops[:0]}
+	if r.Seq, err = c.u32(); err != nil {
+		return err
+	}
 	switch code {
 	case OpGet, OpDel:
 		if r.Key, err = c.key(); err != nil {
-			return nil, err
+			return err
 		}
 	case OpPut:
 		if r.Key, err = c.key(); err != nil {
-			return nil, err
+			return err
 		}
 		if r.Val, err = c.val(); err != nil {
-			return nil, err
+			return err
 		}
 	case OpTxn:
 		n, err := c.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if int(n) > MaxTxnOps {
-			return nil, fmt.Errorf("server: txn of %d ops exceeds limit %d", n, MaxTxnOps)
+			return fmt.Errorf("server: txn of %d ops exceeds limit %d", n, MaxTxnOps)
 		}
-		r.Ops = make([]Op, n)
+		if cap(ops) >= int(n) {
+			r.Ops = ops[:n]
+		} else {
+			r.Ops = make([]Op, n)
+		}
 		for i := range r.Ops {
 			op := &r.Ops[i]
+			*op = Op{}
 			if op.Code, err = c.u8(); err != nil {
-				return nil, err
+				return err
 			}
 			switch op.Code {
 			case OpPut:
 				if op.Key, err = c.key(); err != nil {
-					return nil, err
+					return err
 				}
 				if op.Val, err = c.val(); err != nil {
-					return nil, err
+					return err
 				}
 			case OpDel:
 				if op.Key, err = c.key(); err != nil {
-					return nil, err
+					return err
 				}
 			default:
-				return nil, fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
+				return fmt.Errorf("server: txn sub-op %#x not PUT/DEL", op.Code)
 			}
 		}
 	case OpStats, OpMetrics:
 	default:
-		return nil, fmt.Errorf("server: unknown opcode %#x", code)
+		return fmt.Errorf("server: unknown opcode %#x", code)
 	}
 	if c.off != len(body) {
-		return nil, fmt.Errorf("server: %d trailing bytes after request", len(body)-c.off)
+		return fmt.Errorf("server: %d trailing bytes after request", len(body)-c.off)
 	}
-	return r, nil
+	return nil
 }
 
 // EncodeResponse appends the response's wire body to buf.
 func EncodeResponse(buf []byte, r *Response) []byte {
 	buf = append(buf, r.Status)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Seq)
 	switch r.Status {
 	case StatusOK:
 		buf = appendVal(buf, r.Val)
@@ -316,43 +367,56 @@ func EncodeResponse(buf []byte, r *Response) []byte {
 
 // DecodeResponse parses a response wire body.
 func DecodeResponse(body []byte) (*Response, error) {
+	r := &Response{}
+	if err := DecodeResponseInto(r, body); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeResponseInto parses a response wire body into r. Val aliases
+// body, so the caller must not recycle body while r is live.
+func DecodeResponseInto(r *Response, body []byte) error {
 	c := &cursor{b: body}
 	status, err := c.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &Response{Status: status}
+	*r = Response{Status: status}
+	if r.Seq, err = c.u32(); err != nil {
+		return err
+	}
 	switch status {
 	case StatusOK:
 		n, err := c.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if r.Val, err = c.bytes(int(n)); err != nil {
-			return nil, err
+			return err
 		}
 	case StatusNotFound:
 	case StatusRetry:
 		if r.RetryAfterMs, err = c.u32(); err != nil {
-			return nil, err
+			return err
 		}
 	case StatusErr:
 		n, err := c.u16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		msg, err := c.bytes(int(n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.Err = string(msg)
 	default:
-		return nil, fmt.Errorf("server: unknown response status %#x", status)
+		return fmt.Errorf("server: unknown response status %#x", status)
 	}
 	if c.off != len(body) {
-		return nil, fmt.Errorf("server: %d trailing bytes after response", len(body)-c.off)
+		return fmt.Errorf("server: %d trailing bytes after response", len(body)-c.off)
 	}
-	return r, nil
+	return nil
 }
 
 // hash64 is FNV-1a over the key bytes: it routes a key to its shard (low

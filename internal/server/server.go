@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -36,6 +37,11 @@ type Config struct {
 
 	RetryAfterMs uint32      // backpressure hint returned with StatusRetry
 	Logger       *log.Logger // nil = log.Default()
+
+	// ConnWindow caps the number of requests one connection may have in
+	// flight (read but not yet answered). A pipelined client overlaps up
+	// to this many requests; a synchronous client is unaffected.
+	ConnWindow int
 
 	// TraceEvents > 0 attaches an event tracer with that many records
 	// per ring (one ring per shard plus a network ring). The tracer
@@ -75,6 +81,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfterMs == 0 {
 		c.RetryAfterMs = 5
 	}
+	if c.ConnWindow <= 0 {
+		c.ConnWindow = 64
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -104,12 +113,13 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
-	draining atomic.Bool
-	dead     chan struct{} // closed once shards can no longer answer
-	deadOnce sync.Once
-	stopOnce sync.Once
-	acceptWG sync.WaitGroup
-	connWG   sync.WaitGroup
+	draining   atomic.Bool
+	dead       chan struct{} // closed once shards can no longer answer
+	shardsDead chan struct{} // closed once every shard loop has exited
+	deadOnce   sync.Once
+	stopOnce   sync.Once
+	acceptWG   sync.WaitGroup
+	connWG     sync.WaitGroup
 
 	// Counters for the stats endpoint.
 	accepted   atomic.Uint64
@@ -133,6 +143,10 @@ func shardConfig(c Config) sim.Config {
 	cfg.NVRAMBytes = c.NVRAMBytes
 	cfg.LogBytes = c.LogBytes
 	cfg.Caches.L2.SizeBytes = c.L2Bytes
+	// A shard machine runs indefinitely: bound the per-commit latency
+	// sample buffer (sliding window) so the commit path neither grows
+	// without limit nor allocates in steady state.
+	cfg.TxnLatencySampleCap = 4096
 	// Persisted images cannot be re-attached across a log_grow migration,
 	// so growing is disabled; the log is sized for the small per-request
 	// transactions the store issues.
@@ -180,9 +194,10 @@ func Start(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
-		dead:  make(chan struct{}),
+		cfg:        cfg,
+		conns:      make(map[net.Conn]struct{}),
+		dead:       make(chan struct{}),
+		shardsDead: make(chan struct{}),
 	}
 	s.initObs()
 	scfg := shardConfig(cfg)
@@ -243,40 +258,190 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
+// connReq is the per-request state of one pipelined connection slot. All
+// of its byte slices are scratch buffers recycled through connReqPool, so
+// a connection in steady state reads, applies, and answers requests
+// without per-request allocation.
+type connReq struct {
+	seq   uint32
+	code  byte
+	start time.Time
+	body  []byte   // frame-body read buffer; req's Key/Val/Ops alias it
+	req   Request  // decoded request (Ops capacity reused)
+	resp  Response // filled by the shard or inline by the reader
+	val   []byte   // GET value scratch; resp.Val aliases it
+	enc   []byte   // response encode buffer: [4-byte len][body]
+	sr    request  // shard queue envelope (points back at this connReq)
+}
+
+var connReqPool = sync.Pool{New: func() any { return new(connReq) }}
+
+// handleConn serves one connection with pipelining: a reader decodes and
+// routes up to ConnWindow requests into the shard queues while a writer
+// streams completions back in completion order (responses carry the
+// request's sequence number, so the client may not assume FIFO). The
+// tokens channel bounds the in-flight window; every token taken by the
+// reader is returned by the writer once the matching response is on the
+// wire (or by the reader itself when a read fails before a request is
+// created).
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer s.dropConn(c)
 	br := bufio.NewReader(c)
-	bw := bufio.NewWriter(c)
-	var out []byte
+	window := s.cfg.ConnWindow
+	out := make(chan *connReq, window)
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	writerDone := make(chan struct{})
+	failed := make(chan struct{}) // closed by the writer on write error
+	go s.connWriter(c, out, tokens, writerDone, failed)
+
+	held := 0 // tokens the reader has acquired and not handed to a request
+read:
 	for {
-		body, err := ReadFrame(br, MaxFrame)
-		if err != nil {
-			return
+		select {
+		case <-tokens:
+			held++
+		case <-failed:
+			break read
+		case <-s.shardsDead:
+			break read
 		}
-		req, err := DecodeRequest(body)
-		if err == nil && s.tracer.Enabled() {
-			s.tracer.Emit(s.netRing(), s.nowNS(), obs.KindSrvRecv, 0, uint64(req.Code))
-		}
-		var resp Response
+		cr := connReqPool.Get().(*connReq)
+		body, err := ReadFrameInto(br, cr.body, MaxFrame)
 		if err != nil {
+			connReqPool.Put(cr)
+			break read
+		}
+		cr.body = body[:len(body):cap(body)]
+		derr := DecodeRequestInto(&cr.req, cr.body)
+		if derr == nil && s.tracer.Enabled() {
+			s.tracer.Emit(s.netRing(), s.nowNS(), obs.KindSrvRecv, 0, uint64(cr.req.Code))
+		}
+		cr.seq, cr.code, cr.start = cr.req.Seq, cr.req.Code, time.Now()
+		if derr != nil {
 			// A malformed frame means the stream may be desynchronized:
-			// answer once, then drop the connection.
-			resp = Response{Status: StatusErr, Err: err.Error()}
-		} else {
-			resp = s.dispatch(req)
+			// answer once (the frame's seq is unknowable, so Seq is 0),
+			// then stop reading.
+			cr.seq, cr.code = 0, 0
+			cr.resp = Response{Status: StatusErr, Seq: 0, Err: derr.Error()}
+			held--
+			out <- cr
+			break read
 		}
-		out = EncodeResponse(out[:0], &resp)
-		if werr := WriteFrame(bw, out); werr != nil {
-			return
+		held--
+		if !s.routeAsync(cr, out) {
+			// Answered inline (retry/stats/metrics/validation): already on out.
+			continue
 		}
-		if werr := bw.Flush(); werr != nil {
-			return
-		}
-		if err != nil {
+	}
+
+	// Shutdown: reclaim the whole window so no shard (or the writer) still
+	// references a connReq, then release the writer. If the shards died
+	// mid-flight their unanswered tokens can never come back — shardsDead
+	// is the escape hatch (shard loops have exited, so no send can race
+	// the close of out).
+	for held < window {
+		select {
+		case <-tokens:
+			held++
+		case <-s.shardsDead:
+			close(out)
+			<-writerDone
 			return
 		}
 	}
+	close(out)
+	<-writerDone
+}
+
+// connWriter drains completed requests, encodes each response into the
+// request's reusable buffer, and sends header+body with a single Write.
+// After a write error it keeps draining (releasing tokens, recycling
+// connReqs) so the reader and shards never block, but writes nothing more.
+func (s *Server) connWriter(c net.Conn, out chan *connReq, tokens chan struct{}, done, failed chan struct{}) {
+	defer close(done)
+	wroteErr := false
+	for cr := range out {
+		if h := s.opHist[cr.code]; h != nil {
+			h.Observe(uint64(time.Since(cr.start)))
+		}
+		if !wroteErr {
+			buf := append(cr.enc[:0], 0, 0, 0, 0)
+			buf = EncodeResponse(buf, &cr.resp)
+			binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+			cr.enc = buf
+			if _, err := c.Write(buf); err != nil {
+				wroteErr = true
+				close(failed)
+			}
+		}
+		cr.resp = Response{}
+		cr.req.Key, cr.req.Val = nil, nil
+		connReqPool.Put(cr)
+		tokens <- struct{}{}
+	}
+	if !wroteErr {
+		close(failed)
+	}
+}
+
+// routeAsync routes one decoded pipelined request. It returns true when
+// the request was enqueued to a shard (the shard will deliver cr on out);
+// false when it was answered inline (cr is already on out).
+func (s *Server) routeAsync(cr *connReq, out chan *connReq) bool {
+	req := &cr.req
+	answer := func(resp Response) bool {
+		resp.Seq = cr.seq
+		cr.resp = resp
+		out <- cr
+		return false
+	}
+	s.requests.Add(1)
+	if ctr := s.opCount[req.Code]; ctr != nil {
+		ctr.Inc()
+	}
+	if s.draining.Load() {
+		s.noteRetry()
+		return answer(Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs})
+	}
+	if req.Code == OpStats {
+		return answer(s.statsResponse())
+	}
+	if req.Code == OpMetrics {
+		return answer(s.metricsResponse())
+	}
+
+	var key []byte
+	if req.Code == OpTxn {
+		if len(req.Ops) == 0 {
+			return answer(Response{Status: StatusOK})
+		}
+		key = req.Ops[0].Key
+		home := ShardOf(key, len(s.shards))
+		for _, op := range req.Ops[1:] {
+			if ShardOf(op.Key, len(s.shards)) != home {
+				s.crossShard.Add(1)
+				return answer(Response{Status: StatusErr,
+					Err: "cross-shard txn: all keys of a TXN must hash to one shard"})
+			}
+		}
+	} else {
+		key = req.Key
+	}
+	home := ShardOf(key, len(s.shards))
+	sh := s.shards[home]
+	cr.sr = request{req: req, pr: cr, out: out}
+	if !sh.tryEnqueue(&cr.sr) {
+		s.noteRetry()
+		return answer(Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs})
+	}
+	if s.tracer.Enabled() {
+		s.tracer.Emit(home, s.nowNS(), obs.KindSrvEnqueue, 0, uint64(req.Code))
+	}
+	return true
 }
 
 // dispatch routes one request to its shard and waits for the answer,
@@ -439,6 +604,7 @@ func (s *Server) Shutdown() error {
 			<-sh.done
 		}
 		s.deadOnce.Do(func() { close(s.dead) })
+		close(s.shardsDead)
 		s.closeConns()
 		s.connWG.Wait()
 		s.cfg.Logger.Printf("pmserver: drained and stopped")
@@ -462,6 +628,7 @@ func (s *Server) Kill() {
 		for _, sh := range s.shards {
 			<-sh.done
 		}
+		close(s.shardsDead)
 		s.closeConns()
 		s.connWG.Wait()
 		s.cfg.Logger.Printf("pmserver: killed (no final save)")

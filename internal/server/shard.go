@@ -12,12 +12,21 @@ import (
 )
 
 // request is one unit of work queued to a shard: either a client Request
-// or an internal stats probe. Exactly one response is delivered on the
-// buffered channel, so a shard never blocks on a departed client.
+// or an internal stats probe. Exactly one response is delivered — on the
+// buffered resp channel (synchronous callers), or by handing the owning
+// connReq back on its connection's out channel (pipelined connections) —
+// so a shard never blocks on a departed client.
 type request struct {
 	req   *Request
-	resp  chan Response   // client requests
+	resp  chan Response   // synchronous client requests
 	stats chan ShardStats // stats probes
+
+	// Pipelined delivery: when pr is non-nil the shard fills pr.resp and
+	// sends pr on out instead of using the resp channel. out has capacity
+	// for the connection's whole in-flight window, so the send never
+	// blocks.
+	pr  *connReq
+	out chan *connReq
 }
 
 // ShardStats is one shard's slice of the stats endpoint snapshot.
@@ -56,6 +65,11 @@ type shard struct {
 	requests uint64
 	unsaved  bool             // writes committed since the last image save
 	bootRep  *recovery.Report // recovery report from attach, if any
+
+	// Loop-owned scratch reused across batches so the steady-state batch
+	// path performs no per-batch slice allocation.
+	batch []*request
+	resps []Response
 
 	// Observability, installed by Start before loop() runs. tracer may
 	// be nil (Emit/Enabled are nil-safe); ring sh.id is this shard's.
@@ -135,17 +149,20 @@ func (sh *shard) loop() {
 	}
 }
 
-// collect gathers up to batchMax already-queued requests behind first.
+// collect gathers up to batchMax already-queued requests behind first into
+// the shard's reusable batch slice (valid until the next collect).
 func (sh *shard) collect(first *request) []*request {
-	batch := []*request{first}
+	batch := append(sh.batch[:0], first)
 	for len(batch) < sh.batchMax {
 		select {
 		case r := <-sh.queue:
 			batch = append(batch, r)
 		default:
+			sh.batch = batch
 			return batch
 		}
 	}
+	sh.batch = batch
 	return batch
 }
 
@@ -170,7 +187,13 @@ func (sh *shard) drain() {
 // point.
 func (sh *shard) runBatch(batch []*request) {
 	sh.batches++
-	resps := make([]Response, len(batch))
+	if cap(sh.resps) < len(batch) {
+		sh.resps = make([]Response, len(batch))
+	}
+	resps := sh.resps[:len(batch)]
+	for i := range resps {
+		resps[i] = Response{}
+	}
 	wrote := false
 	runErr := sh.sys.RunN(func(ctx sim.Ctx, _ int) {
 		for i, r := range batch {
@@ -181,7 +204,11 @@ func (sh *shard) runBatch(batch []*request) {
 			if sh.tracer.Enabled() {
 				sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvApply, 0, uint64(r.req.Code))
 			}
-			resps[i] = sh.apply(ctx, r.req)
+			if r.pr != nil {
+				resps[i], r.pr.val = sh.apply(ctx, r.req, r.pr.val[:0])
+			} else {
+				resps[i], _ = sh.apply(ctx, r.req, nil)
+			}
 			if resps[i].Status == StatusOK && r.req.Code != OpGet {
 				wrote = true
 			}
@@ -214,35 +241,43 @@ func (sh *shard) runBatch(batch []*request) {
 		if sh.tracer.Enabled() {
 			sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvAck, 0, uint64(resps[i].Status))
 		}
+		if r.pr != nil {
+			r.pr.resp = resps[i]
+			r.pr.resp.Seq = r.req.Seq
+			r.out <- r.pr
+			continue
+		}
 		r.resp <- resps[i]
 	}
 }
 
-// apply executes one request inside the batch's worker.
-func (sh *shard) apply(ctx sim.Ctx, req *Request) Response {
+// apply executes one request inside the batch's worker. A GET value is
+// appended to dst (the caller's reusable scratch); the returned slice is
+// the grown scratch to keep for the next call.
+func (sh *shard) apply(ctx sim.Ctx, req *Request, dst []byte) (Response, []byte) {
 	switch req.Code {
 	case OpGet:
-		if v, ok := sh.st.get(ctx, req.Key); ok {
-			return Response{Status: StatusOK, Val: v}
+		if v, ok := sh.st.get(ctx, req.Key, dst); ok {
+			return Response{Status: StatusOK, Val: v}, v
 		}
-		return Response{Status: StatusNotFound}
+		return Response{Status: StatusNotFound}, dst
 	case OpPut:
 		if err := sh.st.put(ctx, req.Key, req.Val); err != nil {
-			return Response{Status: StatusErr, Err: err.Error()}
+			return Response{Status: StatusErr, Err: err.Error()}, dst
 		}
-		return Response{Status: StatusOK}
+		return Response{Status: StatusOK}, dst
 	case OpDel:
 		if sh.st.del(ctx, req.Key) {
-			return Response{Status: StatusOK}
+			return Response{Status: StatusOK}, dst
 		}
-		return Response{Status: StatusNotFound}
+		return Response{Status: StatusNotFound}, dst
 	case OpTxn:
 		if err := sh.st.txn(ctx, req.Ops); err != nil {
-			return Response{Status: StatusErr, Err: err.Error()}
+			return Response{Status: StatusErr, Err: err.Error()}, dst
 		}
-		return Response{Status: StatusOK}
+		return Response{Status: StatusOK}, dst
 	}
-	return Response{Status: StatusErr, Err: "unroutable opcode"}
+	return Response{Status: StatusErr, Err: "unroutable opcode"}, dst
 }
 
 // snapshot assembles the shard's stats slice (loop goroutine only).

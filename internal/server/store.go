@@ -51,6 +51,11 @@ type store struct {
 	buckets  mem.Addr
 	nBuckets uint64
 	keys     uint64 // volatile live-key count (rebuilt on attach)
+
+	// keyScratch backs chain-walk key comparisons so the steady-state
+	// lookup path performs no heap allocation. A store is owned by exactly
+	// one shard goroutine, so a single scratch buffer suffices.
+	keyScratch []byte
 }
 
 func roundWord(n uint64) uint64 { return (n + mem.WordSize - 1) &^ (mem.WordSize - 1) }
@@ -154,9 +159,11 @@ func (st *store) find(ctx sim.Ctx, key []byte) (node, linkSlot mem.Addr) {
 	node = mem.Addr(ctx.Load(linkSlot))
 	for node != 0 {
 		keyLen := uint64(ctx.Load(node + nodeOffKeyLen))
-		if keyLen == uint64(len(key)) &&
-			bytes.Equal(ctx.LoadBytes(node+nodeOffKey, len(key)), key) {
-			return node, linkSlot
+		if keyLen == uint64(len(key)) {
+			st.keyScratch = ctx.LoadBytesInto(st.keyScratch[:0], node+nodeOffKey, len(key))
+			if bytes.Equal(st.keyScratch, key) {
+				return node, linkSlot
+			}
 		}
 		linkSlot = node + nodeOffNext
 		node = mem.Addr(ctx.Load(linkSlot))
@@ -164,18 +171,24 @@ func (st *store) find(ctx sim.Ctx, key []byte) (node, linkSlot mem.Addr) {
 	return 0, linkSlot
 }
 
-// get returns the value stored under key.
-func (st *store) get(ctx sim.Ctx, key []byte) ([]byte, bool) {
+// get appends the value stored under key to dst and returns the extended
+// slice. Passing a reused dst with spare capacity makes the steady-state
+// GET path allocation free; passing nil behaves like the old allocating
+// variant.
+func (st *store) get(ctx sim.Ctx, key, dst []byte) ([]byte, bool) {
 	node, _ := st.find(ctx, key)
 	if node == 0 {
-		return nil, false
+		return dst, false
 	}
 	valLen := int(ctx.Load(node + nodeOffValLen))
 	keyLen := uint64(ctx.Load(node + nodeOffKeyLen))
 	if valLen == 0 {
-		return []byte{}, true
+		if dst == nil {
+			dst = []byte{}
+		}
+		return dst, true
 	}
-	return ctx.LoadBytes(node+nodeOffKey+mem.Addr(roundWord(keyLen)), valLen), true
+	return ctx.LoadBytesInto(dst, node+nodeOffKey+mem.Addr(roundWord(keyLen)), valLen), true
 }
 
 // writeNode fills a freshly allocated node (inside the caller's open

@@ -58,6 +58,13 @@ type Config struct {
 	// TrackOracle maintains the committed-state oracle used by crash
 	// consistency tests (costs memory proportional to the touched words).
 	TrackOracle bool
+
+	// TxnLatencySampleCap bounds the per-commit latency sample buffer:
+	// once full, new samples overwrite the oldest (a sliding window), so
+	// a long-running machine (a server shard) neither grows without bound
+	// nor allocates on the commit path. 0 keeps every sample — what the
+	// finite experiment runs want for exact percentiles.
+	TxnLatencySampleCap int
 }
 
 // DefaultConfig returns the paper's Table II machine with a 4 MB log.

@@ -29,6 +29,10 @@ type Ctx interface {
 	// LoadBytes / StoreBytes move byte strings word-at-a-time (addr must
 	// be word aligned).
 	LoadBytes(addr mem.Addr, n int) []byte
+	// LoadBytesInto appends n bytes starting at addr to dst and returns
+	// the extended slice — the allocation-free LoadBytes for hot paths
+	// that recycle a scratch buffer (pass dst[:0] to reuse its capacity).
+	LoadBytesInto(dst []byte, addr mem.Addr, n int) []byte
 	StoreBytes(addr mem.Addr, b []byte)
 	// Compute accounts n non-memory instructions of workload work.
 	Compute(n uint64)
@@ -418,7 +422,13 @@ func (t *threadCtx) TxCommit() {
 	t.inTx = false
 	t.s.tracer.Emit(t.id, t.core.Now(), obs.KindTxCommit, traceTxID, 0)
 	t.s.committedTxns++
-	t.s.txnLatencies = append(t.s.txnLatencies, t.core.Now()-t.txStart)
+	if sampleCap := t.s.cfg.TxnLatencySampleCap; sampleCap > 0 && len(t.s.txnLatencies) >= sampleCap {
+		// Sliding window: overwrite the oldest sample, allocation-free.
+		t.s.txnLatencies[t.s.txnLatSeq%uint64(sampleCap)] = t.core.Now() - t.txStart
+		t.s.txnLatSeq++
+	} else {
+		t.s.txnLatencies = append(t.s.txnLatencies, t.core.Now()-t.txStart)
+	}
 	if t.oracleTx != nil {
 		t.s.oracle.commitTx(t.oracleTx, t.core.Now(), durable)
 		t.oracleTx = nil
@@ -441,23 +451,28 @@ func (t *threadCtx) flushWriteSet() {
 }
 
 func (t *threadCtx) LoadBytes(addr mem.Addr, n int) []byte {
+	return t.LoadBytesInto(make([]byte, 0, n), addr, n)
+}
+
+func (t *threadCtx) LoadBytesInto(dst []byte, addr mem.Addr, n int) []byte {
 	if !addr.IsWordAligned() {
 		t.fault(fmt.Errorf("sim: unaligned LoadBytes at %v", addr))
 	}
-	out := make([]byte, 0, n)
 	now := t.core.Now()
 	for got := 0; got < n; got += mem.WordSize {
 		w, done, _ := t.s.hier.LoadWord(now, t.id, addr+mem.Addr(got))
 		t.core.Load(done)
 		now = t.core.Now()
-		var buf [mem.WordSize]byte
-		for i := range buf {
-			buf[i] = byte(w >> (8 * i))
+		take := n - got
+		if take > mem.WordSize {
+			take = mem.WordSize
 		}
-		out = append(out, buf[:]...)
+		for i := 0; i < take; i++ {
+			dst = append(dst, byte(w>>(8*i)))
+		}
 	}
 	t.yield()
-	return out[:n]
+	return dst
 }
 
 func (t *threadCtx) StoreBytes(addr mem.Addr, b []byte) {

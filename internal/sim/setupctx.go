@@ -39,6 +39,12 @@ func (c setupCtx) LoadBytes(addr mem.Addr, n int) []byte {
 	return c.s.nv.Image().Read(addr, n)
 }
 
+func (c setupCtx) LoadBytesInto(dst []byte, addr mem.Addr, n int) []byte {
+	grown := append(dst, make([]byte, n)...)
+	c.s.nv.Image().ReadInto(addr, grown[len(dst):])
+	return grown
+}
+
 func (c setupCtx) StoreBytes(addr mem.Addr, b []byte) {
 	c.s.PokeBytes(addr, b)
 }

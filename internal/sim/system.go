@@ -51,7 +51,8 @@ type System struct {
 	population map[mem.Addr]mem.Word
 
 	committedTxns uint64
-	txnLatencies  []uint64 // per-commit latency in cycles
+	txnLatencies  []uint64 // per-commit latency in cycles (see TxnLatencySampleCap)
+	txnLatSeq     uint64   // samples overwritten since the buffer filled
 	benchName     string
 
 	// Software-logging shared state (centralized log, Section III-F).
@@ -144,6 +145,11 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, spec: cfg.Mode.Spec(), swActive: make(map[int]uint64)}
+	if cfg.TxnLatencySampleCap > 0 {
+		// Preallocate the sliding window so the commit path never grows it
+		// (keeping steady-state commits allocation free from the first op).
+		s.txnLatencies = make([]uint64, 0, cfg.TxnLatencySampleCap)
+	}
 
 	var err error
 	if s.nv, err = nvram.New(cfg.NVRAM, cfg.NVRAMBase, cfg.NVRAMBytes); err != nil {
