@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf ci
+.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf doctor ci
 
 all: build test
 
@@ -55,4 +55,11 @@ perf:
 	$(GO) test ./internal/nvlog ./internal/server -run 'ZeroAlloc' -count=1
 	$(GO) run ./cmd/pmperf -conns 2 -window 16 -duration 500ms -o BENCH_wall.json
 
-ci: build lint test race trace-test perf
+# doctor is the flight-recorder smoke (DESIGN.md §12): boot a server,
+# push spanned traffic, capture a flight dump, and assert pmdoctor
+# renders causal timelines from it. Also part of `test`, gated
+# explicitly so ci fails loudly if the forensics pipeline breaks.
+doctor:
+	$(GO) test ./cmd/pmdoctor -run TestDoctorSmoke -count=1
+
+ci: build lint test race trace-test perf doctor

@@ -1,0 +1,306 @@
+// Command pmdoctor is the post-mortem forensics CLI for pmserver's
+// flight recorder: it loads a black-box dump (written on panic,
+// SIGTERM, or an explicit WriteFlightDump), prints the causal timeline
+// of every request that was in flight when the process died, and
+// cross-checks each one against the shard's durable NVRAM log image —
+// classifying its transaction committed / torn / unlogged in the
+// paper's recovery vocabulary and verifying the ruling against what a
+// real recovery replay concludes from the same image:
+//
+//	pmdoctor /data/flight-dump.json
+//	pmdoctor -dump flight-dump.json -images /data -strict
+//	pmdoctor -dump flight-dump.json -span 4294967297 -json
+//
+// Exit status: 0 clean, 1 verdict/replay disagreement under -strict,
+// 2 usage or input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"pmemlog/internal/flight"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("pmdoctor", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		dumpPath  = fs.String("dump", "", "flight dump JSON (a bare positional argument works too)")
+		imagesDir = fs.String("images", "", "directory holding the shard NVRAM images (default: the paths recorded in the dump, then the dump's own directory)")
+		spanID    = fs.Uint64("span", 0, "report only this wire span ID")
+		jsonOut   = fs.Bool("json", false, "emit the dump and analysis as one JSON document")
+		strict    = fs.Bool("strict", false, "exit 1 when any verdict disagrees with the recovery replay")
+		noCheck   = fs.Bool("no-analyze", false, "skip the log-image cross-check (print the dump only)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: pmdoctor [flags] [dump.json]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dumpPath == "" && fs.NArg() == 1 {
+		*dumpPath = fs.Arg(0)
+	}
+	if *dumpPath == "" || fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
+
+	d, err := flight.LoadDump(*dumpPath)
+	if err != nil {
+		fmt.Fprintf(errw, "pmdoctor: %v\n", err)
+		return 2
+	}
+	if *spanID != 0 {
+		filterSpan(d, *spanID)
+	}
+
+	var an *flight.Analysis
+	var analyzeErr error
+	if !*noCheck && len(d.InFlight) > 0 {
+		an, analyzeErr = flight.Analyze(d, imageOpener(d, *dumpPath, *imagesDir))
+		if analyzeErr != nil {
+			fmt.Fprintf(errw, "pmdoctor: analysis skipped: %v\n", analyzeErr)
+		}
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Dump     *flight.Dump     `json:"dump"`
+			Analysis *flight.Analysis `json:"analysis,omitempty"`
+		}{d, an}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(errw, "pmdoctor: %v\n", err)
+			return 2
+		}
+	} else {
+		printDump(out, d)
+		printAnalysis(out, d, an)
+	}
+
+	if *strict && an != nil && !an.Agreement() {
+		fmt.Fprintf(errw, "pmdoctor: verdicts disagree with the recovery replay\n")
+		return 1
+	}
+	return 0
+}
+
+// filterSpan narrows the dump to one span: its snapshot(s) and the
+// trace events carrying its tag.
+func filterSpan(d *flight.Dump, id uint64) {
+	keep := func(in []flight.SpanSnapshot) []flight.SpanSnapshot {
+		var out []flight.SpanSnapshot
+		for _, s := range in {
+			if s.ID == id {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	d.InFlight = keep(d.InFlight)
+	d.Slow = keep(d.Slow)
+	d.Events = d.Timeline(id)
+}
+
+// imageOpener resolves a shard index to its NVRAM image file. The
+// recorded ImagePath is tried as written (absolute paths from the
+// dying process), then rebased onto the dump's directory and the
+// -images override — dumps routinely travel away from the machine
+// that wrote them.
+func imageOpener(d *flight.Dump, dumpPath, imagesDir string) flight.ImageOpener {
+	return func(shard int) (io.ReadCloser, error) {
+		var recorded string
+		for _, st := range d.ShardStates {
+			if st.Shard == shard {
+				recorded = st.ImagePath
+				break
+			}
+		}
+		base := filepath.Base(recorded)
+		if recorded == "" {
+			base = fmt.Sprintf("shard-%03d.img", shard)
+		}
+		var candidates []string
+		if imagesDir != "" {
+			candidates = append(candidates, filepath.Join(imagesDir, base))
+		}
+		if recorded != "" {
+			candidates = append(candidates, recorded)
+		}
+		candidates = append(candidates, filepath.Join(filepath.Dir(dumpPath), base))
+		var firstErr error
+		for _, c := range candidates {
+			f, err := os.Open(c)
+			if err == nil {
+				return f, nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return nil, firstErr
+	}
+}
+
+func printDump(out io.Writer, d *flight.Dump) {
+	fmt.Fprintf(out, "flight dump v%d  reason=%s  captured=%s  uptime=%s\n",
+		d.Version, d.Reason,
+		time.Unix(0, d.CapturedAtNS).UTC().Format(time.RFC3339),
+		time.Duration(d.UptimeNS))
+	fmt.Fprintf(out, "server %s  mode=%s  shards=%d\n", d.Addr, d.Mode, d.Shards)
+
+	if len(d.RingStats) > 0 {
+		fmt.Fprintf(out, "\ntrace rings:\n")
+		for i, rs := range d.RingStats {
+			name := fmt.Sprintf("ring %d", i)
+			if i < len(d.RingNames) {
+				name = d.RingNames[i]
+			}
+			fmt.Fprintf(out, "  %-24s %8d emitted  %6d dropped\n", name, rs.Emitted, rs.Dropped)
+		}
+	}
+
+	if len(d.ShardStates) > 0 {
+		fmt.Fprintf(out, "\nshards:\n")
+		for _, st := range d.ShardStates {
+			fmt.Fprintf(out, "  shard %d: queue %d/%d  log head=%d tail=%d cap=%d  pass=%d occupancy=%.0f%%\n",
+				st.Shard, st.QueueLen, st.QueueCap,
+				st.LogHead, st.LogTail, st.LogCap, st.Pass(), 100*st.Occupancy())
+		}
+	}
+
+	fmt.Fprintf(out, "\nspans: %d in flight, %d slow captured, %d shed (table full)\n",
+		len(d.InFlight), d.SlowCaptured, d.SpanDrops)
+	if len(d.InFlight) > 0 {
+		fmt.Fprintf(out, "\nin-flight at capture:\n")
+		for i := range d.InFlight {
+			printSpan(out, d, &d.InFlight[i])
+		}
+	}
+	if len(d.Slow) > 0 {
+		fmt.Fprintf(out, "\nslow requests (tail samples):\n")
+		for i := range d.Slow {
+			printSpan(out, d, &d.Slow[i])
+		}
+	}
+}
+
+// printSpan renders one span's stage latencies, txn attribution, and
+// causal timeline reassembled from the trace rings.
+func printSpan(out io.Writer, d *flight.Dump, sp *flight.SpanSnapshot) {
+	fmt.Fprintf(out, "  span %d (tag %08x)  op=%s  shard=%s  status=%s\n",
+		sp.ID, sp.Tag(), opName(sp.Op), shardName(sp.Shard), statusName(sp.Status))
+	fmt.Fprintf(out, "    stages: recv=%s", time.Duration(sp.RecvNS))
+	for _, st := range []struct {
+		name string
+		ns   int64
+	}{{"enqueue", sp.EnqueueNS}, {"apply", sp.ApplyNS}, {"ack", sp.AckNS}} {
+		if st.ns == 0 {
+			fmt.Fprintf(out, "  %s=-", st.name)
+			continue
+		}
+		fmt.Fprintf(out, "  %s=+%s", st.name, time.Duration(st.ns-sp.RecvNS))
+	}
+	fmt.Fprintln(out)
+	if sp.TxID != 0 {
+		fmt.Fprintf(out, "    txn %d: begin@%d commit@%d cycles, log records [%d,%d)\n",
+			sp.TxID, sp.TxBeginCyc, sp.TxCommitCyc, sp.LogFirst, sp.LogLast)
+	}
+	printTimeline(out, d, d.Timeline(sp.ID))
+}
+
+func printTimeline(out io.Writer, d *flight.Dump, tl []flight.Event) {
+	if len(tl) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "    timeline:\n")
+	for _, e := range tl {
+		ring := fmt.Sprintf("ring %d", e.Ring)
+		if e.Ring >= 0 && e.Ring < len(d.RingNames) {
+			ring = d.RingNames[e.Ring]
+		}
+		fmt.Fprintf(out, "      %12d  %-16s %-18s txid=%d arg=%d\n", e.TS, ring, e.Kind, e.TxID, e.Arg)
+	}
+}
+
+func printAnalysis(out io.Writer, d *flight.Dump, an *flight.Analysis) {
+	if an == nil {
+		return
+	}
+	fmt.Fprintf(out, "\nanalysis (dump vs durable log images):\n")
+	if an.InFlightUnattributed > 0 {
+		fmt.Fprintf(out, "  %d in-flight span(s) had no attributable transaction (died before a shard/txn, or no image)\n",
+			an.InFlightUnattributed)
+	}
+	for _, sa := range an.Shards {
+		fmt.Fprintf(out, "  shard %d: recovery scanned %d entries, %d committed (redo), %d uncommitted (undo)\n",
+			sa.Shard, sa.Report.EntriesScanned, len(sa.Report.Committed), len(sa.Report.Uncommitted))
+		for _, f := range sa.Findings {
+			agree := "agrees with replay"
+			if !f.Agrees {
+				agree = "DISAGREES with replay"
+			}
+			fmt.Fprintf(out, "    span %d txn %d: %s (%d durable records, commit=%v) — %s\n",
+				f.Span.ID, f.Span.TxID, f.Verdict, f.Records, f.HasCommit, agree)
+		}
+	}
+	if an.Agreement() {
+		fmt.Fprintf(out, "  verdicts agree with the recovery replay\n")
+	} else {
+		fmt.Fprintf(out, "  VERDICT MISMATCH: flight-recorder view and recovery replay differ\n")
+	}
+}
+
+func opName(op uint8) string {
+	switch op {
+	case 0x01:
+		return "get"
+	case 0x02:
+		return "put"
+	case 0x03:
+		return "del"
+	case 0x04:
+		return "txn"
+	case 0x05:
+		return "stats"
+	case 0x06:
+		return "metrics"
+	}
+	return fmt.Sprintf("op%02x", op)
+}
+
+func shardName(s int) string {
+	if s < 0 {
+		return "unrouted"
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+func statusName(s int) string {
+	switch s {
+	case -1:
+		return "unanswered"
+	case 0x00:
+		return "ok"
+	case 0x01:
+		return "not-found"
+	case 0x02:
+		return "retry"
+	case 0x03:
+		return "err"
+	}
+	return fmt.Sprintf("status%02x", s)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pmemlog/internal/server"
+	"pmemlog/internal/txn"
+)
+
+// TestDoctorSmoke is the end-to-end smoke `make doctor` runs in CI:
+// boot a real server, push spanned traffic through it, capture a
+// flight dump mid-flight, and assert pmdoctor renders span timelines
+// reassembled from the trace rings.
+func TestDoctorSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{
+		Addr:       "127.0.0.1:0",
+		Dir:        dir,
+		Shards:     2,
+		Mode:       txn.FWB,
+		QueueDepth: 128,
+		BatchMax:   8,
+		Buckets:    128,
+		NVRAMBytes: 2 << 20,
+		LogBytes:   64 << 10,
+		L2Bytes:    64 << 10,
+		Logger:     log.New(io.Discard, "", 0),
+		// Tail-sample everything so finished requests keep their spans.
+		SlowThreshold: time.Nanosecond,
+	}
+	srv, err := server.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := server.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 10
+	c.EnableSpans()
+	for i := 0; i < 32; i++ {
+		key := []byte{'k', byte('0' + i%10), byte('0' + i/10)}
+		if err := c.Put(key, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dumpPath := filepath.Join(dir, "flight-dump.json")
+	if err := srv.WriteFlightDump(dumpPath, "manual"); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := run([]string{dumpPath}, &out, &out); code != 0 {
+		t.Fatalf("pmdoctor exited %d:\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"flight dump v1",
+		"reason=manual",
+		"trace rings:",
+		"shards:",
+		"slow requests (tail samples):",
+		"timeline:",
+		"srv-recv",
+		"srv-ack",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("pmdoctor output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -json must emit one parseable document holding the dump.
+	out.Reset()
+	if code := run([]string{"-json", "-dump", dumpPath}, &out, &out); code != 0 {
+		t.Fatalf("pmdoctor -json exited %d:\n%s", code, out.String())
+	}
+	var doc struct {
+		Dump struct {
+			Version int    `json:"version"`
+			Reason  string `json:"reason"`
+		} `json:"dump"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("pmdoctor -json output unparsable: %v", err)
+	}
+	if doc.Dump.Version != 1 || doc.Dump.Reason != "manual" {
+		t.Fatalf("pmdoctor -json dump = %+v", doc.Dump)
+	}
+}
+
+// TestDoctorUsage covers the argument edge cases without a server.
+func TestDoctorUsage(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out, &out); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"does-not-exist.json"}, &out, &out); code != 2 {
+		t.Fatalf("missing dump: exit %d, want 2", code)
+	}
+}

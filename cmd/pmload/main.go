@@ -37,6 +37,7 @@ func main() {
 		keys     = flag.Int("keys", 4096, "distinct keys in the shared keyspace")
 		valSize  = flag.Int("value-size", 128, "value size in bytes")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
+		spans    = flag.Bool("spans", false, "send request spans so the server's flight recorder can trace this load")
 		stats    = flag.Bool("stats", true, "print the server stats snapshot after the run")
 	)
 	flag.Parse()
@@ -73,7 +74,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runConn(*addr, *ops, *readFrac, *txnFrac, *keys, *valSize, byShard,
+			results[i] = runConn(*addr, *ops, *readFrac, *txnFrac, *keys, *valSize, *spans, byShard,
 				rand.New(rand.NewSource(*seed+int64(i))))
 		}(i)
 	}
@@ -120,7 +121,7 @@ func main() {
 func keyName(k int) []byte { return []byte(fmt.Sprintf("load-%06d", k)) }
 
 func runConn(addr string, ops int, readFrac, txnFrac float64, keys, valSize int,
-	byShard [][]int, rng *rand.Rand) *connResult {
+	spans bool, byShard [][]int, rng *rand.Rand) *connResult {
 	r := &connResult{latencies: make([]time.Duration, 0, ops)}
 	c, err := server.Dial(addr)
 	if err != nil {
@@ -129,6 +130,9 @@ func runConn(addr string, ops int, readFrac, txnFrac float64, keys, valSize int,
 	}
 	defer c.Close()
 	c.MaxRetries = 100
+	if spans {
+		c.EnableSpans()
+	}
 	val := make([]byte, valSize)
 	for i := 0; i < ops; i++ {
 		rng.Read(val)

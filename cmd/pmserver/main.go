@@ -29,6 +29,8 @@ func main() {
 		nvram  = flag.Uint64("nvram-mb", 8, "per-shard NVRAM size in MiB")
 		logKB  = flag.Uint64("log-kb", 256, "per-shard log size in KiB")
 
+		httpAddr = flag.String("http-addr", "", "serve /healthz readiness on this address (off when empty)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at drain)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at drain")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
@@ -56,6 +58,7 @@ func main() {
 		BatchMax:   *batch,
 		NVRAMBytes: *nvram << 20,
 		LogBytes:   *logKB << 10,
+		HTTPAddr:   *httpAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -66,6 +69,13 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
 	log.Printf("pmserver: %v: draining", s)
+	// Leave the black box behind before the drain erases the in-flight
+	// picture: the dump lands next to the shard images for pmdoctor.
+	if err := srv.WriteFlightDump(srv.FlightDumpPath(), s.String()); err != nil {
+		log.Printf("pmserver: flight dump failed: %v", err)
+	} else {
+		log.Printf("pmserver: flight dump written to %s", srv.FlightDumpPath())
+	}
 	srv.Shutdown()
 	stopProf()
 }

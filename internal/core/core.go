@@ -232,9 +232,18 @@ type Engine struct {
 	// point for the closures to stamp.
 	tracer   *obs.Tracer
 	traceNow uint64
+	// span tags record-level trace events with the request span currently
+	// driving the engine (see SetSpan); 0 outside any traced request.
+	span uint32
 
 	stats Stats
 }
+
+// SetSpan sets the request span tag stamped on record-level trace events
+// (log append, log-full stall) until the next SetSpan. Log-global events
+// (wrap, truncation) stay untagged: they belong to the log's lifetime,
+// not to whichever request happened to trigger them.
+func (e *Engine) SetSpan(span uint32) { e.span = span }
 
 // SetTracer attaches (or with nil detaches) the obs tracer, installing
 // clock-stamping closures on every sub-log. Record-level events land in
@@ -256,11 +265,11 @@ func (e *Engine) SetTracer(t *obs.Tracer) {
 			}
 			switch k {
 			case nvlog.TraceAppend:
-				e.tracer.Emit(ring, e.traceNow, obs.KindLogAppend, txid, arg)
+				e.tracer.EmitSpan(ring, e.traceNow, obs.KindLogAppend, txid, arg, e.span)
 			case nvlog.TraceWrap:
 				e.tracer.Emit(-1, e.traceNow, obs.KindLogWrap, 0, arg)
 			case nvlog.TraceFull:
-				e.tracer.Emit(ring, e.traceNow, obs.KindLogStall, txid, arg)
+				e.tracer.EmitSpan(ring, e.traceNow, obs.KindLogStall, txid, arg, e.span)
 			case nvlog.TraceTruncate:
 				e.tracer.Emit(-1, e.traceNow, obs.KindLogTruncate, 0, arg)
 			}

@@ -1,0 +1,234 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pmemlog/internal/mem"
+	"pmemlog/internal/nvlog"
+	"pmemlog/internal/recovery"
+)
+
+// Verdict classifies what a crash did to one in-flight transaction,
+// in the paper's recovery vocabulary.
+type Verdict string
+
+const (
+	// VerdictCommitted: a durable commit record exists, so recovery
+	// redoes the transaction — the ack (sent or not) is honored.
+	VerdictCommitted Verdict = "committed"
+	// VerdictTorn: log records exist but no commit record — the
+	// transaction died mid-pipeline and recovery undoes it from the
+	// undo images (the paper's uncommitted-rollback path).
+	VerdictTorn Verdict = "torn"
+	// VerdictUnlogged: no durable log record mentions the transaction —
+	// it died before any append left the log write buffer, so recovery
+	// never sees it and no data write-back can have escaped either
+	// (logging is ordered before data by construction).
+	VerdictUnlogged Verdict = "unlogged"
+)
+
+// Finding is the doctor's ruling on one in-flight span.
+type Finding struct {
+	Span    SpanSnapshot `json:"span"`
+	Verdict Verdict      `json:"verdict"`
+
+	// Log evidence backing the verdict.
+	Records   int  `json:"records"`    // durable log records for the txid
+	HasCommit bool `json:"has_commit"` // durable commit record present
+
+	// Recovery cross-check: what a real recovery pass over the same
+	// image concluded about this txid. Agrees is the doctor's
+	// self-test — the flight-recorder view and the replay must match.
+	RecoveryCommitted   bool `json:"recovery_committed"`
+	RecoveryUncommitted bool `json:"recovery_uncommitted"`
+	Agrees              bool `json:"agrees"`
+
+	Timeline []Event `json:"timeline,omitempty"`
+}
+
+// ShardAnalysis is one shard's cross-checked recovery view.
+type ShardAnalysis struct {
+	Shard    int             `json:"shard"`
+	Report   recovery.Report `json:"report"`
+	Findings []Finding       `json:"findings"`
+}
+
+// Analysis is the doctor's full ruling over a dump.
+type Analysis struct {
+	Shards []ShardAnalysis `json:"shards"`
+
+	// InFlightUnattributed counts in-flight spans that could not be
+	// checked against a log image (no txid recorded yet, or the shard's
+	// image was not provided).
+	InFlightUnattributed int `json:"in_flight_unattributed"`
+}
+
+// Findings flattens every shard's findings, span timeline order.
+func (a *Analysis) Findings() []Finding {
+	var out []Finding
+	for _, s := range a.Shards {
+		out = append(out, s.Findings...)
+	}
+	return out
+}
+
+// Agreement reports whether every finding's verdict matched the
+// recovery replay (vacuously true with no findings).
+func (a *Analysis) Agreement() bool {
+	for _, s := range a.Shards {
+		for _, f := range s.Findings {
+			if !f.Agrees {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ImageOpener maps a shard index to its NVRAM image. Analyze reads the
+// image fully into memory; the on-disk file is never mutated even
+// though the recovery pass scrubs its working copy's log metadata.
+type ImageOpener func(shard int) (io.ReadCloser, error)
+
+// Analyze cross-checks a dump against the shards' NVRAM log images:
+// for every in-flight span with an attributed transaction it scans the
+// shard's durable log records, rules the transaction committed / torn /
+// unlogged, and verifies the ruling against what recovery.RecoverAll
+// actually replays from the same image.
+func Analyze(d *Dump, open ImageOpener) (*Analysis, error) {
+	an := &Analysis{}
+
+	// Group the spans needing a ruling by shard.
+	byShard := map[int][]SpanSnapshot{}
+	for _, sp := range d.InFlight {
+		if sp.Shard < 0 || sp.TxID == 0 {
+			// Died before reaching a shard or before its txn began:
+			// nothing durable can exist, but without a txid there is no
+			// log evidence to rule on either.
+			an.InFlightUnattributed++
+			continue
+		}
+		byShard[sp.Shard] = append(byShard[sp.Shard], sp)
+	}
+
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+
+	for _, shardIdx := range shards {
+		spans := byShard[shardIdx]
+		var st *ShardState
+		for i := range d.ShardStates {
+			if d.ShardStates[i].Shard == shardIdx {
+				st = &d.ShardStates[i]
+				break
+			}
+		}
+		if st == nil || len(st.LogBases) == 0 {
+			an.InFlightUnattributed += len(spans)
+			continue
+		}
+		rc, err := open(shardIdx)
+		if err != nil {
+			return nil, fmt.Errorf("flight: shard %d image: %w", shardIdx, err)
+		}
+		img, err := mem.ReadPhysical(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("flight: shard %d image: %w", shardIdx, err)
+		}
+
+		bases := make([]mem.Addr, len(st.LogBases))
+		for i, b := range st.LogBases {
+			bases[i] = mem.Addr(b)
+		}
+
+		// Scan the durable records FIRST: the recovery pass below undoes
+		// uncommitted data and scrubs its working copy's log metadata,
+		// so the evidence must be collected before replaying.
+		records, commits, err := scanTxns(img, bases)
+		if err != nil {
+			return nil, fmt.Errorf("flight: shard %d log scan: %w", shardIdx, err)
+		}
+		rep, err := recovery.RecoverAll(img, bases)
+		if err != nil {
+			return nil, fmt.Errorf("flight: shard %d recovery: %w", shardIdx, err)
+		}
+		committed := toSet(rep.Committed)
+		uncommitted := toSet(rep.Uncommitted)
+
+		sa := ShardAnalysis{Shard: shardIdx, Report: rep}
+		for _, sp := range spans {
+			f := Finding{
+				Span:      sp,
+				Records:   records[sp.TxID],
+				HasCommit: commits[sp.TxID],
+				Timeline:  d.Timeline(sp.ID),
+			}
+			switch {
+			case f.HasCommit:
+				f.Verdict = VerdictCommitted
+			case f.Records > 0:
+				f.Verdict = VerdictTorn
+			default:
+				f.Verdict = VerdictUnlogged
+			}
+			f.RecoveryCommitted = committed[sp.TxID]
+			f.RecoveryUncommitted = uncommitted[sp.TxID]
+			// The flight view agrees with the replay when committed spans
+			// were redone, torn spans were rolled back, and unlogged
+			// spans were invisible to recovery.
+			switch f.Verdict {
+			case VerdictCommitted:
+				f.Agrees = f.RecoveryCommitted && !f.RecoveryUncommitted
+			case VerdictTorn:
+				f.Agrees = f.RecoveryUncommitted && !f.RecoveryCommitted
+			case VerdictUnlogged:
+				f.Agrees = !f.RecoveryCommitted && !f.RecoveryUncommitted
+			}
+			sa.Findings = append(sa.Findings, f)
+		}
+		sort.Slice(sa.Findings, func(i, j int) bool {
+			return sa.Findings[i].Span.ID < sa.Findings[j].Span.ID
+		})
+		an.Shards = append(an.Shards, sa)
+	}
+	return an, nil
+}
+
+// scanTxns counts the durable log records and commit markers per txid
+// across every log region, torn records excluded (nvlog.Scan stops at
+// the first torn bit — exactly what recovery will trust).
+func scanTxns(img *mem.Physical, bases []mem.Addr) (records map[uint16]int, commits map[uint16]bool, err error) {
+	records = map[uint16]int{}
+	commits = map[uint16]bool{}
+	for _, base := range bases {
+		meta, err := nvlog.ReadMeta(img, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		entries, _, err := nvlog.Scan(img, base, meta)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, e := range entries {
+			records[e.TxID]++
+			if e.Kind == nvlog.KindCommit {
+				commits[e.TxID] = true
+			}
+		}
+	}
+	return records, commits, nil
+}
+
+func toSet(ids []uint16) map[uint16]bool {
+	m := make(map[uint16]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}

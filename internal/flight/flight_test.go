@@ -1,0 +1,208 @@
+package flight
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmemlog/internal/obs"
+)
+
+func TestSpanTagNonZeroForMintedSpans(t *testing.T) {
+	// Client spans are connID<<32|seq with connID >= 1; the fold must
+	// stay nonzero for them (0 is the "untraced" sentinel) except in the
+	// connID==seq collision, which real mints hit only when a connection
+	// somehow issues a seq equal to its own ID — tolerated, not fatal.
+	if SpanTag(0) != 0 {
+		t.Fatal("SpanTag(0) must be 0")
+	}
+	if SpanTag(1<<32|7) == 0 {
+		t.Fatal("minted span folded to 0")
+	}
+	if SpanTag(1<<32|7) == SpanTag(2<<32|7) {
+		t.Fatal("fold lost the connection half")
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	tb := NewTable(2, 4, 1000)
+	sp := tb.Acquire(1<<32|5, 0x02, 100)
+	if sp == nil {
+		t.Fatal("Acquire failed on empty table")
+	}
+	sp.SetShard(3)
+	sp.Mark(StageEnqueue, 110)
+	sp.Mark(StageApply, 120)
+	sp.SetTxn(77, 1000, 2000)
+	sp.SetLogWindow(10, 13)
+
+	if got := tb.InFlightCount(); got != 1 {
+		t.Fatalf("InFlightCount = %d, want 1", got)
+	}
+	inflight := tb.InFlight()
+	if len(inflight) != 1 {
+		t.Fatalf("InFlight returned %d spans, want 1", len(inflight))
+	}
+	s := inflight[0]
+	if s.ID != 1<<32|5 || s.Shard != 3 || s.TxID != 77 ||
+		s.RecvNS != 100 || s.EnqueueNS != 110 || s.ApplyNS != 120 ||
+		s.TxBeginCyc != 1000 || s.TxCommitCyc != 2000 ||
+		s.LogFirst != 10 || s.LogLast != 13 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if s.Status != -1 || s.AckNS != 0 {
+		t.Fatalf("unanswered span has status %d ack %d", s.Status, s.AckNS)
+	}
+
+	// Finish above the threshold (recv 100 → ack 2100 ≥ 1000ns): the
+	// snapshot lands in the slow ring and the slot recycles.
+	tb.Finish(sp, 0x00, 2100)
+	if got := tb.InFlightCount(); got != 0 {
+		t.Fatalf("InFlightCount after Finish = %d, want 0", got)
+	}
+	slow := tb.Slow()
+	if len(slow) != 1 || slow[0].Status != 0 || slow[0].AckNS != 2100 {
+		t.Fatalf("slow capture: %+v", slow)
+	}
+
+	// A fast request (latency < threshold) is not captured.
+	sp = tb.Acquire(1<<32|6, 0x01, 5000)
+	tb.Finish(sp, 0x00, 5100)
+	if got := tb.SlowCaptured(); got != 1 {
+		t.Fatalf("SlowCaptured = %d, want 1", got)
+	}
+}
+
+func TestTableFullSheds(t *testing.T) {
+	tb := NewTable(1, 0, 0)
+	a := tb.Acquire(1<<32|1, 0x01, 1)
+	if a == nil {
+		t.Fatal("first Acquire failed")
+	}
+	if b := tb.Acquire(1<<32|2, 0x01, 2); b != nil {
+		t.Fatal("Acquire succeeded on a full table")
+	}
+	if tb.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", tb.Drops())
+	}
+	tb.Finish(a, 0, 3)
+	if c := tb.Acquire(1<<32|3, 0x01, 4); c == nil {
+		t.Fatal("Acquire failed after slot recycled")
+	}
+}
+
+func TestTableHotPathZeroAlloc(t *testing.T) {
+	tb := NewTable(8, 4, 1<<40) // threshold unreachably high: slow path off
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tb.Acquire(1<<32|9, 0x02, 100)
+		sp.SetShard(0)
+		sp.Mark(StageEnqueue, 110)
+		sp.Mark(StageApply, 120)
+		sp.SetTxn(7, 1, 2)
+		sp.SetLogWindow(3, 4)
+		tb.Finish(sp, 0, 130)
+	}); n != 0 {
+		t.Fatalf("span lifecycle allocates %v bytes/op, want 0", n)
+	}
+	// The slow-capture path must not allocate either: it copies into the
+	// preallocated ring.
+	tb2 := NewTable(8, 4, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tb2.Acquire(1<<32|9, 0x02, 100)
+		tb2.Finish(sp, 0, 10000)
+	}); n != 0 {
+		t.Fatalf("slow capture allocates %v bytes/op, want 0", n)
+	}
+}
+
+func TestDumpRoundTripAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.json")
+	spanID := uint64(3<<32 | 41)
+	tag := SpanTag(spanID)
+	d := &Dump{
+		Reason:       "manual",
+		CapturedAtNS: 12345,
+		UptimeNS:     999,
+		Addr:         "127.0.0.1:0",
+		Mode:         "hw-undo-redo",
+		Shards:       2,
+		RingNames:    []string{"shard 0", "shard 1", "network"},
+		RingStats:    []obs.RingStat{{Emitted: 5, Dropped: 0}, {}, {Emitted: 9, Dropped: 2}},
+		Events: []Event{
+			{TS: 1, Kind: "srv-recv", Ring: 2, Arg: 7, Span: tag},
+			{TS: 2, Kind: "srv-enqueue", Ring: 0, Arg: 7, Span: tag},
+			{TS: 3, Kind: "tx-begin", Ring: 0, TxID: 9, Span: tag},
+			{TS: 4, Kind: "log-append", Ring: 0, TxID: 9, Arg: 100, Span: tag},
+			{TS: 5, Kind: "log-wrap", Ring: 0, Arg: 1}, // untagged: not ours
+			{TS: 6, Kind: "srv-recv", Ring: 2, Arg: 8, Span: tag + 1},
+		},
+		ShardStates: []ShardState{
+			{Shard: 0, QueueLen: 3, QueueCap: 64, LogHead: 10, LogTail: 140, LogCap: 128, LogBases: []uint64{4096}},
+			{Shard: 1, QueueLen: 0, QueueCap: 64, LogCap: 128, LogBases: []uint64{4096}},
+		},
+		InFlight: []SpanSnapshot{{ID: spanID, Op: 0x02, Shard: 0, Status: -1, TxID: 9, RecvNS: 1}},
+	}
+	if err := WriteDump(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != DumpVersion || got.Reason != "manual" || got.Shards != 2 ||
+		len(got.Events) != 6 || len(got.InFlight) != 1 || len(got.ShardStates) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	tl := got.Timeline(spanID)
+	if len(tl) != 4 {
+		t.Fatalf("timeline has %d events, want 4: %+v", len(tl), tl)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i-1].TS > tl[i].TS {
+			t.Fatal("timeline out of order")
+		}
+	}
+	if got.Timeline(0) != nil {
+		t.Fatal("span 0 must have no timeline (untraced sentinel)")
+	}
+	if sp := got.FindSpan(spanID); sp == nil || sp.TxID != 9 {
+		t.Fatalf("FindSpan: %+v", sp)
+	}
+	if got.FindSpan(12345) != nil {
+		t.Fatal("FindSpan found a ghost")
+	}
+
+	// Wrap-pressure helpers: tail 140 on a 128-record log is pass 1,
+	// occupancy (140-10)/128.
+	st := &got.ShardStates[0]
+	if st.Pass() != 1 {
+		t.Fatalf("Pass = %d, want 1", st.Pass())
+	}
+	if occ := st.Occupancy(); occ < 1.0 || occ > 1.02 {
+		t.Fatalf("Occupancy = %v", occ)
+	}
+
+	// Version gate: an unknown version must refuse to load.
+	d.Version = 99
+	raw := *d
+	raw.Version = 99
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeRaw(bad, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDump(bad); err == nil {
+		t.Fatal("LoadDump accepted unknown version")
+	}
+}
+
+// writeRaw writes a dump bypassing WriteDump's version stamping.
+func writeRaw(path string, d *Dump) error {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

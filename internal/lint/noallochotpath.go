@@ -51,6 +51,18 @@ var allocHotFuncs = map[string]map[string]bool{
 		"store.del":       true,
 		"store.txn":       true,
 	},
+	// The flight recorder's request path runs once per request inside the
+	// conn reader / shard loop / conn writer; its contract is atomic
+	// stores on preallocated slots only.
+	"internal/flight": {
+		"Table.Acquire":     true,
+		"Table.Finish":      true,
+		"Span.Begin":        true,
+		"Span.Mark":         true,
+		"Span.SetTxn":       true,
+		"Span.SetLogWindow": true,
+		"Span.snapshotInto": true,
+	},
 }
 
 // allocHotFuncsFor returns the hot-function set for pkgPath, nil if the

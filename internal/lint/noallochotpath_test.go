@@ -9,3 +9,7 @@ func TestNoallochotpathNvlog(t *testing.T) {
 func TestNoallochotpathServer(t *testing.T) {
 	RunFixture(t, Noallochotpath, "noalloc/internal/server")
 }
+
+func TestNoallochotpathFlight(t *testing.T) {
+	RunFixture(t, Noallochotpath, "noalloc/internal/flight")
+}

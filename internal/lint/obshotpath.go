@@ -22,7 +22,7 @@ const (
 // rendering belong in setup code or the stats path.
 var Obshotpath = &Analyzer{
 	Name: "obshotpath",
-	Doc:  "inside internal/server shard apply loops, only lock-free allocation-free obs calls (Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe, Tracer.Emit/Enabled)",
+	Doc:  "inside internal/server shard apply loops, only lock-free allocation-free obs calls (Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe, Tracer.Emit/EmitSpan/Enabled)",
 	Run:  runObshotpath,
 }
 
@@ -47,6 +47,7 @@ var obsHotAllowed = map[string]bool{
 	"Gauge.Add":         true,
 	"Histogram.Observe": true,
 	"Tracer.Emit":       true,
+	"Tracer.EmitSpan":   true,
 	"Tracer.Enabled":    true,
 }
 

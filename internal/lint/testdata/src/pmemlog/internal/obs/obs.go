@@ -13,10 +13,12 @@ type Event struct{}
 // Tracer is the per-ring event tracer.
 type Tracer struct{}
 
-func (t *Tracer) Enabled() bool                                         { return false }
-func (t *Tracer) Emit(ring int, ts uint64, k Kind, tx uint16, a uint64) {}
-func (t *Tracer) Snapshot() []Event                                     { return nil }
-func (t *Tracer) Reset()                                                {}
+func (t *Tracer) Enabled() bool                                                        { return false }
+func (t *Tracer) Emit(ring int, ts uint64, k Kind, tx uint16, a uint64)                {}
+func (t *Tracer) EmitSpan(ring int, ts uint64, k Kind, tx uint16, a uint64, sp uint32) {}
+func (t *Tracer) Snapshot() []Event                                                    { return nil }
+func (t *Tracer) Reset()                                                               {}
+func (t *Tracer) RingStats() []Event                                                   { return nil }
 
 // Counter / Gauge / Histogram are the atomic metric handles.
 type Counter struct{}

@@ -29,7 +29,9 @@ func (sh *shard) loop() {
 func (sh *shard) runBatch() {
 	if sh.tracer.Enabled() {
 		sh.tracer.Emit(sh.id, 0, 0, 0, 0)
+		sh.tracer.EmitSpan(sh.id, 0, 0, 0, 0, 7)
 	}
+	_ = sh.tracer.RingStats() // want "obs.Tracer.RingStats inside shard hot function shard.runBatch"
 	sh.count.Inc()
 	sh.count.Add(2)
 	sh.gauge.Set(1)

@@ -119,6 +119,7 @@ type Event struct {
 	Kind Kind
 	Ring uint8  // producing ring index
 	TxID uint16 // owning transaction id, 0 when not applicable
+	Span uint32 // request span tag, 0 when the event belongs to no request
 }
 
 // slot is the in-ring representation. Fields are written individually
@@ -130,8 +131,12 @@ type slot struct {
 	meta atomic.Uint64
 }
 
-func packMeta(kind Kind, ring uint8, txid uint16) uint64 {
-	return uint64(kind) | uint64(ring)<<8 | uint64(txid)<<16
+// packMeta folds kind, ring, txid, and the 32-bit request span tag into
+// the slot's one meta word: the span rides in the high half that the
+// original three-field layout left unused, so span annotation costs no
+// extra ring space.
+func packMeta(kind Kind, ring uint8, txid uint16, span uint32) uint64 {
+	return uint64(kind) | uint64(ring)<<8 | uint64(txid)<<16 | uint64(span)<<32
 }
 
 // Ring is one fixed-capacity event buffer. Writers claim slots with an
@@ -160,6 +165,16 @@ func (r *Ring) Dropped() uint64 {
 		return p - c
 	}
 	return 0
+}
+
+// Emitted reports how many records were ever written into this ring.
+func (r *Ring) Emitted() uint64 { return r.pos.Load() }
+
+// RingStat is one ring's emit/drop accounting, for surfacing silent
+// event loss on stats endpoints.
+type RingStat struct {
+	Emitted uint64 `json:"emitted"`
+	Dropped uint64 `json:"dropped"`
 }
 
 // Tracer owns a set of rings and the global enabled flag.
@@ -205,6 +220,15 @@ func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 // indices fold into the last (machine) ring rather than dropping the
 // event. Emit never locks and never allocates.
 func (t *Tracer) Emit(ring int, ts uint64, kind Kind, txid uint16, arg uint64) {
+	t.EmitSpan(ring, ts, kind, txid, arg, 0)
+}
+
+// EmitSpan is Emit with a request span tag: the event is annotated as
+// belonging to the request whose span ID folds to span (see the flight
+// package), so a post-hoc scan can reassemble one request's causal
+// timeline across rings. Same cost contract as Emit: lock-free,
+// allocation-free, one branch when disabled.
+func (t *Tracer) EmitSpan(ring int, ts uint64, kind Kind, txid uint16, arg uint64, span uint32) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
@@ -216,7 +240,7 @@ func (t *Tracer) Emit(ring int, ts uint64, kind Kind, txid uint16, arg uint64) {
 	s := &r.slots[i&r.mask]
 	s.ts.Store(ts)
 	s.arg.Store(arg)
-	s.meta.Store(packMeta(kind, uint8(ring), txid))
+	s.meta.Store(packMeta(kind, uint8(ring), txid, span))
 }
 
 // Dropped sums the overwritten-record counts across all rings.
@@ -235,6 +259,18 @@ func (t *Tracer) Emitted() uint64 {
 		n += r.pos.Load()
 	}
 	return n
+}
+
+// RingStats reports per-ring emit and drop counts (index = ring index).
+func (t *Tracer) RingStats() []RingStat {
+	if t == nil {
+		return nil
+	}
+	out := make([]RingStat, len(t.rings))
+	for i, r := range t.rings {
+		out[i] = RingStat{Emitted: r.Emitted(), Dropped: r.Dropped()}
+	}
+	return out
 }
 
 // Reset clears all rings and counters. Not safe to race with Emit.
@@ -273,6 +309,7 @@ func (t *Tracer) Snapshot() []Event {
 				Kind: k,
 				Ring: uint8(meta >> 8),
 				TxID: uint16(meta >> 16),
+				Span: uint32(meta >> 32),
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -148,6 +149,84 @@ func TestHistogramQuantiles(t *testing.T) {
 	s := h.Summary()
 	if s.Count != 1000 || s.Max != 1000 || s.Mean < 500 || s.Mean > 501 {
 		t.Fatalf("summary: %+v", s)
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := &Histogram{}
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	empty := &Histogram{}
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want uint64
+	}{
+		// Out-of-range q clamps to the nearest valid quantile instead of
+		// panicking or returning garbage, matching the stats.Percentile
+		// NaN-clamp convention. Min-clamped q resolves to the first
+		// occupied bucket's bound (the smallest sample is 1).
+		{"nan-clamps-to-min", h, math.NaN(), 1},
+		{"negative-clamps-to-min", h, -0.5, 1},
+		{"zero-clamps-to-min", h, 0, 1},
+		{"above-one-clamps-to-max", h, 1.5, 100},
+		{"inf-clamps-to-max", h, math.Inf(1), 100},
+		{"neg-inf-clamps-to-min", h, math.Inf(-1), 1},
+		// Empty histogram: every q reports 0, no divide-by-zero.
+		{"empty-mid", empty, 0.5, 0},
+		{"empty-nan", empty, math.NaN(), 0},
+		{"empty-above-one", empty, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+	// q=0 on a non-empty histogram still lands inside the observed
+	// range: it resolves to the first occupied bucket's bound, capped
+	// by Max, never above it.
+	if got := h.Quantile(0); got > h.Max() {
+		t.Errorf("Quantile(0) = %d exceeds max %d", got, h.Max())
+	}
+}
+
+func TestEmitSpanRoundTrip(t *testing.T) {
+	tr := NewTracer(2, 8)
+	tr.Enable()
+	const span = uint32(0xdeadbeef)
+	tr.EmitSpan(0, 5, KindSrvApply, 42, 7, span)
+	tr.Emit(1, 6, KindLogAppend, 42, 8) // plain Emit ⇒ span 0
+	tr.Disable()
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if e := evs[0]; e.Span != span || e.Kind != KindSrvApply || e.TxID != 42 || e.Arg != 7 {
+		t.Fatalf("span event decoded wrong: %+v", e)
+	}
+	if e := evs[1]; e.Span != 0 {
+		t.Fatalf("plain Emit carried span %#x, want 0", e.Span)
+	}
+	// Same hot-path contract as Emit: no allocation when enabled.
+	tr.Enable()
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.EmitSpan(1, 42, KindLogAppend, 7, 99, span)
+	}); n != 0 {
+		t.Fatalf("enabled EmitSpan allocates %v bytes/op, want 0", n)
+	}
+	// Per-ring accounting surfaces emit and drop counts.
+	st := tr.RingStats()
+	if len(st) != 2 {
+		t.Fatalf("RingStats len = %d, want 2", len(st))
+	}
+	if st[1].Emitted < 1 {
+		t.Fatalf("ring 1 emitted = %d, want >= 1", st[1].Emitted)
+	}
+	var nilTr *Tracer
+	if nilTr.RingStats() != nil {
+		t.Fatal("nil tracer RingStats must be nil")
 	}
 }
 

@@ -6,8 +6,14 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// connCounter mints process-unique connection IDs for span bases. It
+// starts at 1 so a span (connID<<32 | seq) is never zero — zero is the
+// wire encoding for "untraced".
+var connCounter atomic.Uint64
 
 // Client is a pmserver client. The synchronous methods (Get/Put/Del/Txn/
 // Stats/Metrics) behave exactly as they always have — one request in
@@ -40,6 +46,12 @@ type Client struct {
 	tokens     chan struct{} // in-flight window semaphore
 	readerDone chan struct{} // closed when the read loop exits
 
+	// Span minting (EnableSpans): when on, every request carries
+	// spanBase|seq so the server's flight recorder can attribute each
+	// pipeline hop to this exact request.
+	spans    bool
+	spanBase uint64
+
 	// MaxRetries bounds automatic retry on StatusRetry backpressure
 	// (sleeping the server-suggested delay between attempts). Zero means
 	// backpressure surfaces as ErrRetry and the caller schedules the retry.
@@ -55,6 +67,13 @@ type Call struct {
 	body     []byte // encoded request body (kept for retry resend)
 	val      []byte // response value copy (owned by this Call)
 	done     chan struct{}
+
+	// resending counts detached retry goroutines still holding this call.
+	// failAll can complete a call while its resend goroutine sleeps, and
+	// the pool must not recycle the body buffer out from under that
+	// goroutine's eventual send: a nonzero count makes Release/roundTrip
+	// drop the call to the GC instead of pooling it.
+	resending atomic.Int32
 
 	Resp Response
 	Err  error
@@ -98,10 +117,18 @@ func DialPipelined(addr string, window int) (*Client, error) {
 		pending:    make(map[uint32]*Call, window),
 		tokens:     make(chan struct{}, window),
 		readerDone: make(chan struct{}),
+		spanBase:   connCounter.Add(1) << 32,
 	}
 	go c.readLoop()
 	return c, nil
 }
+
+// EnableSpans makes every subsequent request carry a connection-scoped
+// span ID (connection counter in the high 32 bits, request sequence in
+// the low 32). The server echoes the span on the response and threads
+// it through every pipeline hop's trace events. Call before issuing
+// requests; it is not synchronized with concurrent senders.
+func (c *Client) EnableSpans() { c.spans = true }
 
 // Close tears the connection down. In-flight calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -132,6 +159,9 @@ func (c *Client) start(req *Request) (*Call, error) {
 	call.seq = c.seq
 	c.seq++
 	req.Seq = call.seq
+	if c.spans {
+		req.Span = c.spanBase | uint64(call.seq)
+	}
 	body, err := EncodeRequest(call.body[:0], req)
 	if err != nil {
 		c.mu.Unlock()
@@ -225,11 +255,18 @@ func (c *Client) readLoop() {
 				<-c.tokens
 				continue
 			}
+			// Count the resend before re-registering: once the call is back
+			// in pending, failAll may complete it at any moment, and the
+			// count is what keeps the completed call out of the pool while
+			// the goroutine below still reads its body buffer.
+			call.resending.Add(1)
 			c.pending[call.seq] = call
 			c.mu.Unlock()
 			go func(call *Call, after time.Duration) {
 				time.Sleep(after)
-				if err := c.send(call); err != nil {
+				err := c.send(call)
+				call.resending.Add(-1)
+				if err != nil {
 					c.failAll(err)
 				}
 			}(call, after)
@@ -268,7 +305,9 @@ func (call *Call) Release() {
 	call.c = nil
 	call.Resp = Response{}
 	call.Err = nil
-	callPool.Put(call)
+	if call.resending.Load() == 0 {
+		callPool.Put(call)
+	}
 }
 
 // GetAsync starts a pipelined GET.
@@ -317,22 +356,24 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	<-call.done
 	if call.Err != nil {
 		err := call.Err
-		callPool.Put(resetCall(call))
+		recycleCall(call)
 		return nil, err
 	}
 	resp := call.Resp
 	// Hand Val's ownership to the caller (the old synchronous client
 	// returned a caller-owned slice).
 	call.val = nil
-	callPool.Put(resetCall(call))
+	recycleCall(call)
 	return &resp, nil
 }
 
-func resetCall(call *Call) *Call {
+func recycleCall(call *Call) {
 	call.c = nil
 	call.Resp = Response{}
 	call.Err = nil
-	return call
+	if call.resending.Load() == 0 {
+		callPool.Put(call)
+	}
 }
 
 // Get fetches a key; found=false means the key does not exist.

@@ -214,3 +214,46 @@ func BenchmarkClientPipelined(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkClientPipelinedSpans is BenchmarkClientPipelined with flight-
+// recorder spans on every request: the ISSUE 5 acceptance bar is ≤5%
+// regression against the unspanned run (the span cost is one 9-byte wire
+// extension plus atomic stores into a preallocated table slot per hop).
+func BenchmarkClientPipelinedSpans(b *testing.B) {
+	srv := benchServer(b)
+	c, err := DialPipelined(srv.Addr(), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 64
+	c.EnableSpans()
+	key, val := []byte("bench-pipe-key"), bytes.Repeat([]byte{'v'}, 64)
+
+	calls := make(chan *Call, 2*c.Window())
+	collectErr := make(chan error, 1)
+	go func() {
+		for call := range calls {
+			if _, err := call.Wait(); err != nil {
+				collectErr <- err
+				return
+			}
+			call.Release()
+		}
+		collectErr <- nil
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		call, err := c.PutAsync(key, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls <- call
+	}
+	close(calls)
+	if err := <-collectErr; err != nil {
+		b.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -148,9 +149,17 @@ func TestAckedDurabilityUnderKill(t *testing.T) {
 			}(w)
 		}
 
-		// Kill at a random point mid-traffic.
+		// Kill at a random point mid-traffic. When PMFLIGHT_DUMP_DIR is
+		// set (CI does this), capture a flight dump first so the kill
+		// leaves a forensic artifact pmdoctor can be pointed at.
 		rng := rand.New(rand.NewSource(int64(trial) * 7919))
 		time.Sleep(time.Duration(2+rng.Intn(60)) * time.Millisecond)
+		if dumpDir := os.Getenv("PMFLIGHT_DUMP_DIR"); dumpDir != "" {
+			path := filepath.Join(dumpDir, fmt.Sprintf("flight-dump-trial-%02d.json", trial))
+			if err := srv.WriteFlightDump(path, "kill-test"); err != nil {
+				t.Logf("trial %d: flight dump: %v", trial, err)
+			}
+		}
 		srv.Kill()
 		close(stop)
 		wg.Wait()

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"pmemlog/internal/flight"
+)
+
+// Flight-recorder surface of the server: assembling the black-box dump
+// (obs rings, metrics registry, shard queue/log pressure, in-flight and
+// slow span tables) and the /healthz readiness endpoint. The dump path
+// must work while the process is dying — it reads only atomics and
+// loop-published state, never enqueues to a possibly-dead shard.
+
+// FlightDumpPath is where panic/SIGTERM dumps land: next to the shard
+// images, so pmdoctor finds both halves of the evidence together.
+func (s *Server) FlightDumpPath() string {
+	return filepath.Join(s.cfg.Dir, "flight-dump.json")
+}
+
+// WriteFlightDump snapshots the flight recorder to path. Safe to call
+// at any time, including concurrently with live traffic (span and ring
+// snapshots tolerate racing requests) and from the panic hook.
+func (s *Server) WriteFlightDump(path, reason string) error {
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	return flight.WriteDump(path, s.buildDump(reason))
+}
+
+// buildDump assembles the dump document from lock-free state only.
+func (s *Server) buildDump(reason string) *flight.Dump {
+	d := &flight.Dump{
+		Reason:       reason,
+		CapturedAtNS: time.Now().UnixNano(),
+		UptimeNS:     int64(s.nowNS()),
+		Addr:         s.Addr(),
+		Mode:         s.cfg.Mode.String(),
+		Shards:       s.cfg.Shards,
+		SpanDrops:    s.flight.Drops(),
+		SlowCaptured: s.flight.SlowCaptured(),
+		InFlight:     s.flight.InFlight(),
+		Slow:         s.flight.Slow(),
+	}
+	if s.tracer != nil {
+		d.RingNames = s.TracerRingNames()
+		d.RingStats = s.tracer.RingStats()
+		d.Events = flight.ConvertEvents(s.tracer.Snapshot())
+	}
+	// The registry renders from plain atomics; the stats-probe gauges
+	// (key counts etc.) are skipped on purpose — a dump must not wait on
+	// a shard that may be wedged or mid-panic.
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err == nil {
+		d.Metrics = buf.String()
+	}
+	for _, sh := range s.shards {
+		d.ShardStates = append(d.ShardStates, flight.ShardState{
+			Shard:     sh.id,
+			QueueLen:  len(sh.queue),
+			QueueCap:  cap(sh.queue),
+			LogHead:   sh.pubHead.Load(),
+			LogTail:   sh.pubTail.Load(),
+			LogCap:    sh.pubCap.Load(),
+			LogBases:  sh.logBases,
+			ImagePath: sh.imgPath,
+		})
+		// Merge the shard machine's own tracer (tx begin/commit, log
+		// appends, cache/controller events — cycle timestamps) behind the
+		// server's nanosecond request rings, ring indices remapped.
+		if mt := sh.sys.Tracer(); mt != nil {
+			base := len(d.RingNames)
+			for _, name := range sh.sys.TracerRingNames() {
+				d.RingNames = append(d.RingNames, fmt.Sprintf("shard %d/%s", sh.id, name))
+			}
+			d.RingStats = append(d.RingStats, mt.RingStats()...)
+			evs := flight.ConvertEvents(mt.Snapshot())
+			for i := range evs {
+				evs[i].Ring += base
+			}
+			d.Events = append(d.Events, evs...)
+		}
+	}
+	return d
+}
+
+// panicDump is the shard loops' crash hook: best-effort dump, then the
+// panic continues (set up in Start).
+func (s *Server) panicDump() {
+	path := s.FlightDumpPath()
+	if err := s.WriteFlightDump(path, "panic"); err != nil {
+		s.cfg.Logger.Printf("pmserver: flight dump failed: %v", err)
+		return
+	}
+	s.cfg.Logger.Printf("pmserver: flight dump written to %s", path)
+}
+
+// HTTPAddr returns the bound /healthz listener address, "" when the
+// HTTP surface is disabled.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// healthShard is one shard's slice of the readiness report.
+type healthShard struct {
+	Shard     int     `json:"shard"`
+	Attached  bool    `json:"attached"` // re-attached a persisted image at boot
+	QueueLen  int     `json:"queue_len"`
+	QueueCap  int     `json:"queue_cap"`
+	LogPass   uint64  `json:"log_pass"`      // circular-log wrap count
+	Occupancy float64 `json:"log_occupancy"` // live window / capacity
+}
+
+// healthReport is the /healthz JSON body.
+type healthReport struct {
+	OK       bool          `json:"ok"`
+	Draining bool          `json:"draining"`
+	Mode     string        `json:"mode"`
+	UptimeNS int64         `json:"uptime_ns"`
+	Shards   []healthShard `json:"shards"`
+}
+
+// serveHTTP runs the readiness listener until it is closed.
+func (s *Server) serveHTTP(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.healthz)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv.Serve(ln)
+}
+
+// healthz answers readiness from published state only (no shard probe):
+// 200 while serving, 503 once draining. Wrap pressure per shard comes
+// from the loop-published log pointers, the same view a dump captures.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	rep := healthReport{
+		OK:       !s.draining.Load(),
+		Draining: s.draining.Load(),
+		Mode:     s.cfg.Mode.String(),
+		UptimeNS: int64(s.nowNS()),
+	}
+	for _, sh := range s.shards {
+		st := flight.ShardState{
+			LogHead: sh.pubHead.Load(),
+			LogTail: sh.pubTail.Load(),
+			LogCap:  sh.pubCap.Load(),
+		}
+		rep.Shards = append(rep.Shards, healthShard{
+			Shard:     sh.id,
+			Attached:  sh.bootRep != nil,
+			QueueLen:  len(sh.queue),
+			QueueCap:  cap(sh.queue),
+			LogPass:   st.Pass(),
+			Occupancy: st.Occupancy(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !rep.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(rep)
+}

@@ -21,6 +21,8 @@ func FuzzDecodeRequest(f *testing.F) {
 		}},
 		{Code: OpStats, Seq: 9},
 		{Code: OpMetrics, Seq: 10},
+		{Code: OpGet, Seq: 11, Span: 1<<32 | 11, Key: []byte("k")},
+		{Code: OpTxn, Seq: 12, Span: ^uint64(0), Ops: []Op{{Code: OpDel, Key: []byte("b")}}},
 	}
 	for _, r := range seed {
 		body, err := EncodeRequest(nil, r)
@@ -61,7 +63,7 @@ func FuzzDecodeRequest(f *testing.F) {
 }
 
 func requestsEqual(a, b *Request) bool {
-	if a.Code != b.Code || a.Seq != b.Seq ||
+	if a.Code != b.Code || a.Seq != b.Seq || a.Span != b.Span ||
 		!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Val, b.Val) || len(a.Ops) != len(b.Ops) {
 		return false
 	}
@@ -84,6 +86,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		{Status: StatusNotFound, Seq: 8},
 		{Status: StatusRetry, Seq: 5, RetryAfterMs: 250},
 		{Status: StatusErr, Seq: 6, Err: "boom"},
+		{Status: StatusOK, Seq: 7, Span: 1<<32 | 7, Val: []byte("v")},
 	} {
 		f.Add(EncodeResponse(nil, r))
 	}
@@ -100,6 +103,7 @@ func FuzzDecodeResponse(f *testing.F) {
 			return
 		}
 		if fresh.Status != reused.Status || fresh.Seq != reused.Seq ||
+			fresh.Span != reused.Span ||
 			!bytes.Equal(fresh.Val, reused.Val) ||
 			fresh.RetryAfterMs != reused.RetryAfterMs || fresh.Err != reused.Err {
 			t.Fatalf("reused decode %+v != fresh decode %+v", reused, *fresh)
@@ -109,6 +113,7 @@ func FuzzDecodeResponse(f *testing.F) {
 			t.Fatalf("re-encoded response does not decode: %v", err)
 		}
 		if back.Status != fresh.Status || back.Seq != fresh.Seq ||
+			back.Span != fresh.Span ||
 			!bytes.Equal(back.Val, fresh.Val) ||
 			back.RetryAfterMs != fresh.RetryAfterMs || back.Err != fresh.Err {
 			t.Fatalf("round trip changed response: %+v -> %+v", fresh, back)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pmemlog/internal/flight"
 	"pmemlog/internal/obs"
 )
 
@@ -59,8 +60,17 @@ func (s *Server) initObs() {
 		"requests answered with backpressure (queue full or draining)")
 	if s.cfg.TraceEvents > 0 {
 		// Ring i = shard i; the last ring is the shared network ring.
+		// The tracer doubles as the flight recorder's black box, so it
+		// is created and recording from the first request; Disable/Enable
+		// still work for explicit capture windows (pmtrace workflows).
 		s.tracer = obs.NewTracer(s.cfg.Shards+1, s.cfg.TraceEvents)
+		s.tracer.Enable()
 	}
+	thresholdNS := s.cfg.SlowThreshold.Nanoseconds()
+	if thresholdNS < 0 {
+		thresholdNS = 0 // capture disabled
+	}
+	s.flight = flight.NewTable(s.cfg.FlightSpans, s.cfg.SlowSpans, thresholdNS)
 }
 
 // nowNS is the trace clock: nanoseconds since server start.
@@ -112,6 +122,18 @@ func (s *Server) metricsResponse() Response {
 		set("pmserver_shard_batches", lbl, "request batches executed", st.Batches)
 		set("pmserver_shard_saves", lbl, "atomic image saves taken", st.Saves)
 	}
+	for i, rs := range s.tracer.RingStats() {
+		name := "network"
+		if i < s.cfg.Shards {
+			name = fmt.Sprintf("shard-%d", i)
+		}
+		lbl := fmt.Sprintf("ring=%q", name)
+		set("pmserver_trace_emitted", lbl, "trace events emitted into this ring since start", rs.Emitted)
+		set("pmserver_trace_dropped", lbl, "trace events overwritten before any snapshot read them", rs.Dropped)
+	}
+	set("pmserver_span_drops", "", "requests not span-tracked because the flight table was full", s.flight.Drops())
+	set("pmserver_spans_in_flight", "", "request spans currently in flight", uint64(s.flight.InFlightCount()))
+	set("pmserver_slow_spans_captured", "", "slow-request span snapshots retained by tail sampling", s.flight.SlowCaptured())
 	var buf bytes.Buffer
 	if err := s.reg.WritePrometheus(&buf); err != nil {
 		return Response{Status: StatusErr, Err: err.Error()}

@@ -45,6 +45,18 @@ const (
 	MaxFrame    = 1 << 22
 )
 
+// Wire extension header. Opcodes stop at 0x06 and statuses at 0x03, so
+// the high bit of the leading byte is free on both request and response
+// bodies: when set, a versioned extension block sits between the Seq
+// field and the normal payload. Version 1 carries the 8-byte request
+// span ID (flight-recorder tracing); a request or response with Span 0
+// encodes in the unextended legacy format, so spans are wire-compatible
+// in both directions with peers that never heard of them.
+const (
+	extFlag    = byte(0x80)
+	ExtVerSpan = byte(0x01) // ext block = version byte + u64 span
+)
+
 // Op is one sub-operation of a TXN batch.
 type Op struct {
 	Code byte // OpPut or OpDel
@@ -59,6 +71,7 @@ type Op struct {
 type Request struct {
 	Code byte
 	Seq  uint32
+	Span uint64 // request span ID, 0 = untraced (encodes as legacy format)
 	Key  []byte // GET/PUT/DEL
 	Val  []byte // PUT
 	Ops  []Op   // TXN
@@ -68,6 +81,7 @@ type Request struct {
 type Response struct {
 	Status       byte
 	Seq          uint32 // echo of Request.Seq
+	Span         uint64 // echo of Request.Span, 0 = untraced
 	Val          []byte // StatusOK payload (GET value, STATS JSON; empty otherwise)
 	RetryAfterMs uint32 // StatusRetry
 	Err          string // StatusErr
@@ -137,10 +151,41 @@ func appendVal(buf, val []byte) []byte {
 	return append(buf, val...)
 }
 
+// appendExt appends the extension block announced by the leading byte's
+// high bit: version tag, then the span ID.
+func appendExt(buf []byte, span uint64) []byte {
+	buf = append(buf, ExtVerSpan)
+	return binary.LittleEndian.AppendUint64(buf, span)
+}
+
+// readExt consumes one extension block. Unknown versions are a hard
+// decode error: the ext block sits before the payload, so skipping an
+// unknown layout is impossible without knowing its length.
+func readExt(c *cursor) (uint64, error) {
+	ver, err := c.u8()
+	if err != nil {
+		return 0, err
+	}
+	if ver != ExtVerSpan {
+		return 0, fmt.Errorf("server: unknown wire extension version %#x", ver)
+	}
+	return c.u64()
+}
+
 // EncodeRequest appends the request's wire body to buf.
 func EncodeRequest(buf []byte, r *Request) ([]byte, error) {
-	buf = append(buf, r.Code)
+	if r.Code&extFlag != 0 {
+		return nil, fmt.Errorf("server: opcode %#x collides with extension flag", r.Code)
+	}
+	code := r.Code
+	if r.Span != 0 {
+		code |= extFlag
+	}
+	buf = append(buf, code)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Seq)
+	if r.Span != 0 {
+		buf = appendExt(buf, r.Span)
+	}
 	switch r.Code {
 	case OpGet, OpDel:
 		if err := checkKey(r.Key); err != nil {
@@ -234,6 +279,15 @@ func (c *cursor) u32() (uint32, error) {
 	return v, nil
 }
 
+func (c *cursor) u64() (uint64, error) {
+	if c.off+8 > len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
 func (c *cursor) bytes(n int) ([]byte, error) {
 	if n < 0 || c.off+n > len(c.b) {
 		return nil, io.ErrUnexpectedEOF
@@ -284,10 +338,17 @@ func DecodeRequestInto(r *Request, body []byte) error {
 	if err != nil {
 		return err
 	}
+	ext := code&extFlag != 0
+	code &^= extFlag
 	ops := r.Ops
 	*r = Request{Code: code, Ops: ops[:0]}
 	if r.Seq, err = c.u32(); err != nil {
 		return err
+	}
+	if ext {
+		if r.Span, err = readExt(c); err != nil {
+			return err
+		}
 	}
 	switch code {
 	case OpGet, OpDel:
@@ -348,8 +409,15 @@ func DecodeRequestInto(r *Request, body []byte) error {
 
 // EncodeResponse appends the response's wire body to buf.
 func EncodeResponse(buf []byte, r *Response) []byte {
-	buf = append(buf, r.Status)
+	status := r.Status
+	if r.Span != 0 {
+		status |= extFlag
+	}
+	buf = append(buf, status)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Seq)
+	if r.Span != 0 {
+		buf = appendExt(buf, r.Span)
+	}
 	switch r.Status {
 	case StatusOK:
 		buf = appendVal(buf, r.Val)
@@ -382,9 +450,16 @@ func DecodeResponseInto(r *Response, body []byte) error {
 	if err != nil {
 		return err
 	}
+	ext := status&extFlag != 0
+	status &^= extFlag
 	*r = Response{Status: status}
 	if r.Seq, err = c.u32(); err != nil {
 		return err
+	}
+	if ext {
+		if r.Span, err = readExt(c); err != nil {
+			return err
+		}
 	}
 	switch status {
 	case StatusOK:

@@ -89,6 +89,72 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSpanExtensionRoundTrip(t *testing.T) {
+	const span = uint64(0x0000000700000009)
+	reqs := []*Request{
+		{Code: OpGet, Span: span, Key: []byte("k")},
+		{Code: OpPut, Span: span, Seq: 42, Key: []byte("key"), Val: []byte("value")},
+		{Code: OpTxn, Span: 1, Ops: []Op{{Code: OpDel, Key: []byte("b")}}},
+		{Code: OpStats, Span: ^uint64(0)},
+	}
+	for _, req := range reqs {
+		body, err := EncodeRequest(nil, req)
+		if err != nil {
+			t.Fatalf("encode %#x: %v", req.Code, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", req.Code, err)
+		}
+		if got.Span != req.Span || got.Code != req.Code || got.Seq != req.Seq ||
+			!bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Val, req.Val) {
+			t.Fatalf("span round trip mismatch: %+v -> %+v", req, got)
+		}
+	}
+	// Span 0 must encode in the unextended legacy layout: byte-identical
+	// to what an older peer emits, so mixed-version fleets interoperate.
+	plain, _ := EncodeRequest(nil, &Request{Code: OpGet, Key: []byte("k")})
+	zero, _ := EncodeRequest(nil, &Request{Code: OpGet, Span: 0, Key: []byte("k")})
+	if !bytes.Equal(plain, zero) {
+		t.Fatal("span 0 changed the legacy wire layout")
+	}
+	spanned, _ := EncodeRequest(nil, &Request{Code: OpGet, Span: 1, Key: []byte("k")})
+	if len(spanned) != len(plain)+9 {
+		t.Fatalf("ext block is %d bytes, want 9 (version + u64)", len(spanned)-len(plain))
+	}
+
+	resps := []*Response{
+		{Status: StatusOK, Span: span, Val: []byte("payload")},
+		{Status: StatusNotFound, Span: span},
+		{Status: StatusRetry, Span: 3, RetryAfterMs: 7},
+		{Status: StatusErr, Span: span, Err: "boom"},
+	}
+	for _, r := range resps {
+		got, err := DecodeResponse(EncodeResponse(nil, r))
+		if err != nil {
+			t.Fatalf("decode status %#x: %v", r.Status, err)
+		}
+		if got.Span != r.Span || got.Status != r.Status || !bytes.Equal(got.Val, r.Val) ||
+			got.RetryAfterMs != r.RetryAfterMs || got.Err != r.Err {
+			t.Fatalf("span round trip mismatch: %+v -> %+v", r, got)
+		}
+	}
+
+	// Unknown extension version is a hard decode error (the block length
+	// is version-defined, so it cannot be skipped).
+	spanned[1+4] = 0x7e // ext version byte sits after code+seq
+	if _, err := DecodeRequest(spanned); err == nil {
+		t.Fatal("decode accepted unknown extension version")
+	}
+	// Truncated ext block must error, not panic.
+	ok, _ := EncodeRequest(nil, &Request{Code: OpGet, Span: 5, Key: []byte("k")})
+	for n := 1; n < len(ok); n++ {
+		if _, err := DecodeRequest(ok[:n]); err == nil {
+			t.Errorf("decode accepted truncated spanned body of %d/%d bytes", n, len(ok))
+		}
+	}
+}
+
 func TestFrameLimit(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, make([]byte, 100)); err != nil {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmemlog/internal/flight"
 	"pmemlog/internal/obs"
 	"pmemlog/internal/sim"
 	"pmemlog/internal/txn"
@@ -43,10 +44,25 @@ type Config struct {
 	// to this many requests; a synchronous client is unaffected.
 	ConnWindow int
 
-	// TraceEvents > 0 attaches an event tracer with that many records
-	// per ring (one ring per shard plus a network ring). The tracer
-	// starts disabled; see Server.Tracer. Zero means no tracer.
+	// TraceEvents sets the event tracer's per-ring record count (one
+	// ring per shard plus a network ring). Zero means the default: the
+	// tracer is the flight recorder's black box and is always on, sized
+	// modestly so an idle server pays only its preallocated rings.
+	// Negative disables tracing entirely (benchmarking escape hatch).
 	TraceEvents int
+
+	// Flight recorder sizing. FlightSpans caps concurrently-tracked
+	// request spans (table full = requests fly unrecorded, counted);
+	// SlowSpans is the tail-sampling ring; SlowThreshold is the recv→ack
+	// latency at or above which a finished span's full timeline is
+	// retained. Zeros take defaults; SlowThreshold < 0 disables capture.
+	FlightSpans   int
+	SlowSpans     int
+	SlowThreshold time.Duration
+
+	// HTTPAddr, when non-empty, serves the /healthz readiness endpoint
+	// on a plain HTTP listener (e.g. "127.0.0.1:8080").
+	HTTPAddr string
 }
 
 // withDefaults fills zero fields.
@@ -83,6 +99,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConnWindow <= 0 {
 		c.ConnWindow = 64
+	}
+	if c.TraceEvents == 0 {
+		c.TraceEvents = 2048
+	}
+	if c.FlightSpans <= 0 {
+		c.FlightSpans = 1024
+	}
+	if c.SlowSpans <= 0 {
+		c.SlowSpans = 64
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 10 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -135,6 +163,13 @@ type Server struct {
 	opHist   map[byte]*obs.Histogram
 	opCount  map[byte]*obs.Counter
 	mRetries *obs.Counter
+
+	// Flight recorder (see flight_server.go): the in-flight span table
+	// and the optional /healthz HTTP listener. dumpMu serializes dump
+	// writers (explicit calls racing the panic hook).
+	flight *flight.Table
+	httpLn net.Listener
+	dumpMu sync.Mutex
 }
 
 // shardConfig builds one shard's machine configuration.
@@ -207,6 +242,13 @@ func Start(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		sh.tracer, sh.nowNS = s.tracer, s.nowNS
+		sh.onPanic = s.panicDump
+		if cfg.TraceEvents > 0 {
+			// Each shard machine records into its own black-box tracer
+			// (thread + machine rings, cycle timestamps); a flight dump
+			// merges these behind the server's request rings.
+			sh.sys.AttachTracer(cfg.TraceEvents).Enable()
+		}
 		if sh.bootRep != nil {
 			cfg.Logger.Printf("pmserver: shard %d re-attached %s: %d keys, %d log records scanned, %d txns redone, %d rolled back",
 				i, sh.imgPath, sh.st.keys, sh.bootRep.EntriesScanned, len(sh.bootRep.Committed), len(sh.bootRep.Uncommitted))
@@ -214,8 +256,19 @@ func Start(cfg Config) (*Server, error) {
 		s.shards = append(s.shards, sh)
 	}
 
+	if cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			return nil, fmt.Errorf("server: http listener: %w", err)
+		}
+		s.httpLn = hln
+		go s.serveHTTP(hln)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if s.httpLn != nil {
+			s.httpLn.Close()
+		}
 		return nil, err
 	}
 	s.ln = ln
@@ -272,6 +325,12 @@ type connReq struct {
 	val   []byte   // GET value scratch; resp.Val aliases it
 	enc   []byte   // response encode buffer: [4-byte len][body]
 	sr    request  // shard queue envelope (points back at this connReq)
+
+	// Flight-recorder state for spanned requests (wire Span != 0). span
+	// is nil when the request is untraced or the table shed it; spanTag
+	// still annotates the obs events either way.
+	span    *flight.Span
+	spanTag uint32
 }
 
 var connReqPool = sync.Pool{New: func() any { return new(connReq) }}
@@ -317,8 +376,15 @@ read:
 		}
 		cr.body = body[:len(body):cap(body)]
 		derr := DecodeRequestInto(&cr.req, cr.body)
-		if derr == nil && s.tracer.Enabled() {
-			s.tracer.Emit(s.netRing(), s.nowNS(), obs.KindSrvRecv, 0, uint64(cr.req.Code))
+		cr.span, cr.spanTag = nil, 0
+		if derr == nil {
+			if cr.req.Span != 0 {
+				cr.spanTag = flight.SpanTag(cr.req.Span)
+				cr.span = s.flight.Acquire(cr.req.Span, cr.req.Code, int64(s.nowNS()))
+			}
+			if s.tracer.Enabled() {
+				s.tracer.EmitSpan(s.netRing(), s.nowNS(), obs.KindSrvRecv, 0, uint64(cr.req.Code), cr.spanTag)
+			}
 		}
 		cr.seq, cr.code, cr.start = cr.req.Seq, cr.req.Code, time.Now()
 		if derr != nil {
@@ -368,6 +434,11 @@ func (s *Server) connWriter(c net.Conn, out chan *connReq, tokens chan struct{},
 		if h := s.opHist[cr.code]; h != nil {
 			h.Observe(uint64(time.Since(cr.start)))
 		}
+		// The span's ack point is the response reaching the writer; Finish
+		// recycles the slot (and tail-samples slow requests), so the span
+		// must not be touched after this.
+		s.flight.Finish(cr.span, cr.resp.Status, int64(s.nowNS()))
+		cr.span, cr.spanTag = nil, 0
 		if !wroteErr {
 			buf := append(cr.enc[:0], 0, 0, 0, 0)
 			buf = EncodeResponse(buf, &cr.resp)
@@ -395,6 +466,7 @@ func (s *Server) routeAsync(cr *connReq, out chan *connReq) bool {
 	req := &cr.req
 	answer := func(resp Response) bool {
 		resp.Seq = cr.seq
+		resp.Span = req.Span
 		cr.resp = resp
 		out <- cr
 		return false
@@ -438,8 +510,12 @@ func (s *Server) routeAsync(cr *connReq, out chan *connReq) bool {
 		s.noteRetry()
 		return answer(Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs})
 	}
+	if cr.span != nil {
+		cr.span.SetShard(home)
+		cr.span.Mark(flight.StageEnqueue, int64(s.nowNS()))
+	}
 	if s.tracer.Enabled() {
-		s.tracer.Emit(home, s.nowNS(), obs.KindSrvEnqueue, 0, uint64(req.Code))
+		s.tracer.EmitSpan(home, s.nowNS(), obs.KindSrvEnqueue, 0, uint64(req.Code), cr.spanTag)
 	}
 	return true
 }
@@ -529,6 +605,18 @@ type StatsSnapshot struct {
 	// OpLatencies summarizes the per-op latency histograms (nanoseconds)
 	// accumulated since server start, keyed by opcode name.
 	OpLatencies map[string]obs.LatencySummary `json:"op_latencies,omitempty"`
+
+	// Tracer ring accounting: silent event loss on the always-on black
+	// box is itself a diagnostic, so emitted/dropped counts are surfaced
+	// per ring (request rings first, then the network ring).
+	TracerRings   []obs.RingStat `json:"tracer_rings,omitempty"`
+	TracerEmitted uint64         `json:"tracer_emitted"`
+	TracerDropped uint64         `json:"tracer_dropped"`
+
+	// Flight-recorder span table accounting.
+	SpanInFlight int    `json:"spans_in_flight"`
+	SpanDrops    uint64 `json:"span_drops"`
+	SlowSpans    uint64 `json:"slow_spans_captured"`
 }
 
 // Stats gathers a consistent-enough snapshot: each shard answers a probe
@@ -550,6 +638,14 @@ func (s *Server) Stats() (StatsSnapshot, error) {
 			snap.OpLatencies[opName(code)] = h.Summary()
 		}
 	}
+	snap.TracerRings = s.tracer.RingStats()
+	for _, rs := range snap.TracerRings {
+		snap.TracerEmitted += rs.Emitted
+		snap.TracerDropped += rs.Dropped
+	}
+	snap.SpanInFlight = s.flight.InFlightCount()
+	snap.SpanDrops = s.flight.Drops()
+	snap.SlowSpans = s.flight.SlowCaptured()
 	probes := make([]chan ShardStats, len(s.shards))
 	for i, sh := range s.shards {
 		probes[i] = make(chan ShardStats, 1)
@@ -596,6 +692,9 @@ func (s *Server) Shutdown() error {
 	s.stopOnce.Do(func() {
 		s.draining.Store(true)
 		s.ln.Close()
+		if s.httpLn != nil {
+			s.httpLn.Close()
+		}
 		s.acceptWG.Wait()
 		for _, sh := range s.shards {
 			close(sh.stop)
@@ -620,6 +719,9 @@ func (s *Server) Kill() {
 	s.stopOnce.Do(func() {
 		s.draining.Store(true)
 		s.ln.Close()
+		if s.httpLn != nil {
+			s.httpLn.Close()
+		}
 		for _, sh := range s.shards {
 			close(sh.kill)
 		}

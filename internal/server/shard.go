@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"pmemlog/internal/flight"
 	"pmemlog/internal/obs"
 	"pmemlog/internal/recovery"
 	"pmemlog/internal/sim"
@@ -75,6 +77,18 @@ type shard struct {
 	// be nil (Emit/Enabled are nil-safe); ring sh.id is this shard's.
 	tracer *obs.Tracer
 	nowNS  func() uint64
+
+	// onPanic, when set, writes a flight-recorder dump before the panic
+	// propagates out of the shard loop and kills the process.
+	onPanic func()
+
+	// Published log state: head/tail/capacity refreshed by the loop after
+	// every batch so a concurrent flight dump reads wrap pressure without
+	// touching the loop-owned machine. logBases is static after newShard.
+	pubHead  atomic.Uint64
+	pubTail  atomic.Uint64
+	pubCap   atomic.Uint64
+	logBases []uint64
 }
 
 // newShard builds (or re-attaches) one shard.
@@ -115,7 +129,20 @@ func newShard(id int, cfg sim.Config, nBuckets uint64, dir string, queueDepth, b
 	} else {
 		return nil, fmt.Errorf("server: shard %d: %w", id, err)
 	}
+	for _, base := range sys.LogBases() {
+		sh.logBases = append(sh.logBases, uint64(base))
+	}
+	sh.publishLogState()
 	return sh, nil
+}
+
+// publishLogState refreshes the atomically-published wrap-pressure view
+// (loop goroutine, or newShard before the loop starts).
+func (sh *shard) publishLogState() {
+	head, tail, capacity := sh.sys.LogState()
+	sh.pubHead.Store(head)
+	sh.pubTail.Store(tail)
+	sh.pubCap.Store(capacity)
 }
 
 // save persists the high-water mark and the DIMM image atomically. The
@@ -136,6 +163,17 @@ func (sh *shard) save() error {
 // loop is the shard worker goroutine.
 func (sh *shard) loop() {
 	defer close(sh.done)
+	defer func() {
+		// A shard panic takes the process down; snapshot the black box
+		// first so pmdoctor can explain what was in flight, then let the
+		// panic propagate (masking it would fake liveness).
+		if r := recover(); r != nil {
+			if sh.onPanic != nil {
+				sh.onPanic()
+			}
+			panic(r)
+		}
+	}()
 	for {
 		select {
 		case <-sh.kill:
@@ -201,13 +239,41 @@ func (sh *shard) runBatch(batch []*request) {
 				continue // stats probe: answered after the batch
 			}
 			sh.requests++
+			var tag uint32
+			var sp *flight.Span
+			if r.pr != nil {
+				tag, sp = r.pr.spanTag, r.pr.span
+			}
 			if sh.tracer.Enabled() {
-				sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvApply, 0, uint64(r.req.Code))
+				sh.tracer.EmitSpan(sh.id, sh.nowNS(), obs.KindSrvApply, 0, uint64(r.req.Code), tag)
+			}
+			var tailBefore, commitBefore uint64
+			if tag != 0 {
+				// Stamp the machine's tx/log events with this request's
+				// span while it applies; bracketing the log tail and the
+				// commit clock attributes the appended records and the
+				// machine txn to the span afterwards.
+				sh.sys.SetSpan(tag)
+			}
+			if sp != nil {
+				sp.Mark(flight.StageApply, int64(sh.nowNS()))
+				_, tailBefore, _ = sh.sys.LogState()
+				_, _, commitBefore = sh.sys.LastCommit()
 			}
 			if r.pr != nil {
 				resps[i], r.pr.val = sh.apply(ctx, r.req, r.pr.val[:0])
 			} else {
 				resps[i], _ = sh.apply(ctx, r.req, nil)
+			}
+			if sp != nil {
+				_, tailAfter, _ := sh.sys.LogState()
+				sp.SetLogWindow(tailBefore, tailAfter)
+				if txid, begin, commit := sh.sys.LastCommit(); commit != commitBefore {
+					sp.SetTxn(txid, begin, commit)
+				}
+			}
+			if tag != 0 {
+				sh.sys.SetSpan(0)
 			}
 			if resps[i].Status == StatusOK && r.req.Code != OpGet {
 				wrote = true
@@ -233,17 +299,23 @@ func (sh *shard) runBatch(batch []*request) {
 			}
 		}
 	}
+	sh.publishLogState()
 	for i, r := range batch {
 		if r.stats != nil {
 			r.stats <- sh.snapshot()
 			continue
 		}
 		if sh.tracer.Enabled() {
-			sh.tracer.Emit(sh.id, sh.nowNS(), obs.KindSrvAck, 0, uint64(resps[i].Status))
+			var tag uint32
+			if r.pr != nil {
+				tag = r.pr.spanTag
+			}
+			sh.tracer.EmitSpan(sh.id, sh.nowNS(), obs.KindSrvAck, 0, uint64(resps[i].Status), tag)
 		}
 		if r.pr != nil {
 			r.pr.resp = resps[i]
 			r.pr.resp.Seq = r.req.Seq
+			r.pr.resp.Span = r.req.Span
 			r.out <- r.pr
 			continue
 		}

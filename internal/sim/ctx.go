@@ -123,7 +123,7 @@ func (t *threadCtx) run(w func(Ctx)) {
 				// Power loss: the open transaction dies with the machine
 				// (recovery will roll it back from the undo log).
 				if t.inTx {
-					t.s.tracer.Emit(t.id, t.core.Now(), obs.KindTxAbort, t.traceTxID(), 0)
+					t.s.tracer.EmitSpan(t.id, t.core.Now(), obs.KindTxAbort, t.traceTxID(), 0, t.s.reqSpan)
 				}
 			case simFault:
 				t.err = f.err
@@ -349,7 +349,7 @@ func (t *threadCtx) TxBegin() {
 	t.writeSet.Reset()
 	t.inTx = true
 	t.txStart = t.core.Now()
-	t.s.tracer.Emit(t.id, t.txStart, obs.KindTxBegin, t.traceTxID(), 0)
+	t.s.tracer.EmitSpan(t.id, t.txStart, obs.KindTxBegin, t.traceTxID(), 0, t.s.reqSpan)
 	if t.s.oracle != nil {
 		id := t.swTxID
 		if t.hwTx != nil {
@@ -420,8 +420,11 @@ func (t *threadCtx) TxCommit() {
 	}
 
 	t.inTx = false
-	t.s.tracer.Emit(t.id, t.core.Now(), obs.KindTxCommit, traceTxID, 0)
+	t.s.tracer.EmitSpan(t.id, t.core.Now(), obs.KindTxCommit, traceTxID, 0, t.s.reqSpan)
 	t.s.committedTxns++
+	t.s.lastCommitTxID = traceTxID
+	t.s.lastCommitBegin = t.txStart
+	t.s.lastCommitEnd = t.core.Now()
 	if sampleCap := t.s.cfg.TxnLatencySampleCap; sampleCap > 0 && len(t.s.txnLatencies) >= sampleCap {
 		// Sliding window: overwrite the oldest sample, allocation-free.
 		t.s.txnLatencies[t.s.txnLatSeq%uint64(sampleCap)] = t.core.Now() - t.txStart

@@ -66,6 +66,52 @@ type System struct {
 	// tracer, when attached, receives machine events: ring i = thread i,
 	// ring Threads = the machine ring (engine, controller, caches).
 	tracer *obs.Tracer
+
+	// reqSpan tags tx/log trace events with the request span currently
+	// driving the machine (see SetSpan). Plain field: the owning shard
+	// goroutine is the only writer and all emits happen on it.
+	reqSpan uint32
+
+	// Most recent durable commit, for request→txn attribution by the
+	// flight recorder (fields written in TxCommit, read by the same
+	// goroutine right after RunN returns).
+	lastCommitTxID  uint16
+	lastCommitBegin uint64 // cycle of that txn's begin
+	lastCommitEnd   uint64 // cycle of its commit
+}
+
+// SetSpan sets the request span tag stamped on this machine's tx and
+// record-level log trace events until the next SetSpan (0 clears it). A
+// server shard calls it per applied request so simulator-side events
+// join the request's causal timeline.
+func (s *System) SetSpan(span uint32) {
+	s.reqSpan = span
+	if s.eng != nil {
+		s.eng.SetSpan(span)
+	}
+}
+
+// LastCommit reports the txid and begin/commit cycles of the most
+// recently committed transaction (zeros before the first commit). Only
+// meaningful from the goroutine that ran the workload.
+func (s *System) LastCommit() (txid uint16, begin, commit uint64) {
+	return s.lastCommitTxID, s.lastCommitBegin, s.lastCommitEnd
+}
+
+// LogState reports the circular log's head/tail sequence numbers and
+// record capacity (the primary region under distributed logging) — the
+// wrap-pressure inputs a flight-recorder dump captures.
+func (s *System) LogState() (head, tail, capacity uint64) {
+	var l *nvlog.Log
+	switch {
+	case s.eng != nil:
+		l = s.eng.Log()
+	case s.swLog != nil:
+		l = s.swLog
+	default:
+		return 0, 0, 0
+	}
+	return l.Head(), l.Tail(), l.Capacity()
 }
 
 // AttachTracer allocates an event tracer sized for this machine (one
@@ -129,11 +175,11 @@ func (s *System) swLogTrace(k nvlog.TraceKind, arg uint64, ent *nvlog.Entry) {
 	}
 	switch k {
 	case nvlog.TraceAppend:
-		s.tracer.Emit(ring, ts, obs.KindLogAppend, txid, arg)
+		s.tracer.EmitSpan(ring, ts, obs.KindLogAppend, txid, arg, s.reqSpan)
 	case nvlog.TraceWrap:
 		s.tracer.Emit(s.cfg.Threads, ts, obs.KindLogWrap, 0, arg)
 	case nvlog.TraceFull:
-		s.tracer.Emit(ring, ts, obs.KindLogStall, txid, arg)
+		s.tracer.EmitSpan(ring, ts, obs.KindLogStall, txid, arg, s.reqSpan)
 	case nvlog.TraceTruncate:
 		s.tracer.Emit(s.cfg.Threads, ts, obs.KindLogTruncate, 0, arg)
 	}
@@ -267,6 +313,15 @@ func (s *System) Engine() *core.Engine { return s.eng }
 
 // NVRAMImage exposes the persistent byte image (recovery, verification).
 func (s *System) NVRAMImage() *mem.Physical { return s.nv.Image() }
+
+// LogBases returns every log region's base address: the engine's
+// sub-logs under distributed logging, otherwise the single region.
+func (s *System) LogBases() []mem.Addr {
+	if s.eng != nil {
+		return s.eng.LogBases()
+	}
+	return []mem.Addr{s.LogBase()}
+}
 
 // LogBase returns the circular log's base address.
 func (s *System) LogBase() mem.Addr {
@@ -486,12 +541,8 @@ func (s *System) LoadNVRAM(r io.Reader) error {
 // DumpLog decodes the durable log records currently in NVRAM (all regions,
 // buffered records excluded) — a debugging/inspection aid.
 func (s *System) DumpLog() ([]nvlog.Entry, error) {
-	bases := []mem.Addr{s.LogBase()}
-	if s.eng != nil {
-		bases = s.eng.LogBases()
-	}
 	var out []nvlog.Entry
-	for _, base := range bases {
+	for _, base := range s.LogBases() {
 		meta, err := nvlog.ReadMeta(s.nv.Image(), base)
 		if err != nil {
 			return nil, err
