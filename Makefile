@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf doctor ci
+.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf doctor chaos ci
 
 all: build test
 
@@ -62,4 +62,14 @@ perf:
 doctor:
 	$(GO) test ./cmd/pmdoctor -run TestDoctorSmoke -count=1
 
-ci: build lint test race trace-test perf doctor
+# chaos is the fixed-seed fault-injection campaign (DESIGN.md §13):
+# the full scenario matrix (torn log lines, partial drains, dropped and
+# delayed write-backs, bank stalls, combined, network faults) swept
+# over 20 seeds. Deterministic — a failure here names the seed that
+# replays it exactly. Scratch state (images, flight dumps) and the
+# JSON report land in chaos-out/.
+chaos:
+	mkdir -p chaos-out
+	$(GO) run ./cmd/pmchaos -seeds 20 -dir chaos-out -o chaos-out/chaos-report.json
+
+ci: build lint test race trace-test perf doctor chaos

@@ -11,8 +11,9 @@
 //	pmdoctor -dump flight-dump.json -images /data -strict
 //	pmdoctor -dump flight-dump.json -span 4294967297 -json
 //
-// Exit status: 0 clean, 1 verdict/replay disagreement under -strict,
-// 2 usage or input errors.
+// Exit status: 0 clean (torn-but-correctly-rolled-back crashes
+// included), 1 under -strict when an acked write was lost or a verdict
+// disagrees with the recovery replay, 2 usage or input errors.
 package main
 
 import (
@@ -68,7 +69,7 @@ func run(args []string, out, errw io.Writer) int {
 
 	var an *flight.Analysis
 	var analyzeErr error
-	if !*noCheck && len(d.InFlight) > 0 {
+	if !*noCheck && (len(d.InFlight) > 0 || len(d.Slow) > 0) {
 		an, analyzeErr = flight.Analyze(d, imageOpener(d, *dumpPath, *imagesDir))
 		if analyzeErr != nil {
 			fmt.Fprintf(errw, "pmdoctor: analysis skipped: %v\n", analyzeErr)
@@ -91,9 +92,23 @@ func run(args []string, out, errw io.Writer) int {
 		printAnalysis(out, d, an)
 	}
 
-	if *strict && an != nil && !an.Agreement() {
-		fmt.Fprintf(errw, "pmdoctor: verdicts disagree with the recovery replay\n")
-		return 1
+	// Strict mode separates crash artifacts from broken promises: a torn
+	// or unlogged in-flight request that recovery correctly rolled back is
+	// normal crash behavior (exit 0); a lost acked write or a verdict that
+	// disagrees with the recovery replay is a real failure (exit 1).
+	if *strict && an != nil {
+		bad := false
+		if !an.Agreement() {
+			fmt.Fprintf(errw, "pmdoctor: verdicts disagree with the recovery replay\n")
+			bad = true
+		}
+		if n := an.AckedLoss(); n > 0 {
+			fmt.Fprintf(errw, "pmdoctor: %d acked write(s) lost by recovery\n", n)
+			bad = true
+		}
+		if bad {
+			return 1
+		}
 	}
 	return 0
 }
@@ -253,14 +268,27 @@ func printAnalysis(out io.Writer, d *flight.Dump, an *flight.Analysis) {
 			if !f.Agrees {
 				agree = "DISAGREES with replay"
 			}
-			fmt.Fprintf(out, "    span %d txn %d: %s (%d durable records, commit=%v) — %s\n",
-				f.Span.ID, f.Span.TxID, f.Verdict, f.Records, f.HasCommit, agree)
+			acked := ""
+			if f.Acked {
+				acked = ", acked"
+				if f.AckedLost {
+					acked = ", ACKED WRITE LOST"
+				}
+			}
+			fmt.Fprintf(out, "    span %d txn %d: %s (%d durable records, commit=%v%s) — %s\n",
+				f.Span.ID, f.Span.TxID, f.Verdict, f.Records, f.HasCommit, acked, agree)
 		}
 	}
 	if an.Agreement() {
 		fmt.Fprintf(out, "  verdicts agree with the recovery replay\n")
 	} else {
 		fmt.Fprintf(out, "  VERDICT MISMATCH: flight-recorder view and recovery replay differ\n")
+	}
+	if n := an.AckedLoss(); n > 0 {
+		fmt.Fprintf(out, "  ACKED WRITE LOSS: %d acknowledged write(s) did not survive recovery\n", n)
+	}
+	if d.Chaos != nil {
+		fmt.Fprintf(out, "  %s\n", d.Chaos)
 	}
 }
 

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/obs"
 )
@@ -82,7 +83,16 @@ type Hierarchy struct {
 	fwbCB     func(addr mem.Addr, data *mem.Line) bool
 	fwbNow    uint64
 	fwbForced uint64
+
+	// chaos, when armed via SetChaos (sim construction only), drops
+	// forced write-backs: the scan skips the line, which stays dirty
+	// and flagged for the next pass.
+	chaos *chaos.Injector
 }
+
+// SetChaos arms (or with nil disarms) the fault injector (pmlint's
+// chaosonly rule confines callers to the sim layer).
+func (h *Hierarchy) SetChaos(in *chaos.Injector) { h.chaos = in }
 
 // SetTracer attaches (or with nil detaches) the obs tracer. ring is
 // the ring index scan events land in (the machine ring by convention —
@@ -99,6 +109,12 @@ func NewHierarchy(cfg HierarchyConfig, backing Backing) (*Hierarchy, error) {
 	}
 	h := &Hierarchy{cfg: cfg, backing: backing, l1Busy: make([]uint64, cfg.NumCores)}
 	h.fwbCB = func(addr mem.Addr, data *mem.Line) bool {
+		if h.chaos.Hit(chaos.SiteDropFWB, uint64(addr)) {
+			// Chaos: the forced write-back is dropped. Returning false
+			// leaves the line dirty+flagged, so the next scan retries it;
+			// truncation keeps waiting on DirtyAnywhere/LineWriteDone.
+			return false
+		}
 		h.backing.WriteBackLine(h.fwbNow, addr, data)
 		h.fwbForced++
 		h.tracer.Emit(h.traceRing, h.fwbNow, obs.KindFwbForced, 0, uint64(addr))

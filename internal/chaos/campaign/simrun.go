@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"errors"
+	"math/rand"
+
+	"pmemlog/internal/chaos"
+	"pmemlog/internal/mem"
+	"pmemlog/internal/sim"
+	"pmemlog/internal/txn"
+)
+
+// Simulated-machine scenario runner: build a chaos-armed machine, run a
+// seeded multithreaded counter workload, crash it at a seed-derived
+// cycle with the scenario's hardware faults armed, then run the paper's
+// recovery procedure and verify the recovered image against the oracle
+// (exactly the committed transactions, atomically, nothing acked lost).
+//
+// Everything — workload interleaving, fault schedule, crash cycle — is
+// a pure function of the seed, so a failing run replays bit-for-bit
+// from `-seed N` alone.
+
+const (
+	simThreads = 3
+	simTxns    = 150
+	simWords   = 32
+)
+
+// simConfig shrinks the Table II machine the same way the sim package's
+// own crash tests do: tiny caches force evictions (the steal path), a
+// small log forces wrap-around, and the oracle tracks committed state.
+func simConfig(inj *chaos.Injector) sim.Config {
+	cfg := sim.DefaultConfig(txn.FWB, simThreads)
+	cfg.Caches.L1.SizeBytes = 2 << 10
+	cfg.Caches.L1.Ways = 2
+	cfg.Caches.L2.SizeBytes = 16 << 10
+	cfg.Caches.L2.Ways = 4
+	cfg.NVRAMBytes = 8 << 20
+	cfg.LogBytes = 64 << 10
+	cfg.GrowReserveBytes = 1 << 20
+	cfg.DRAMBytes = 64 << 10
+	// The derived FWB interval for a small log is longer than this whole
+	// workload; force frequent scans so the drop-fwb and delay-wb sites
+	// actually see forced write-backs before the crash.
+	cfg.FwbScanInterval = 500
+	cfg.TrackOracle = true
+	cfg.Chaos = inj
+	return cfg
+}
+
+// buildSim assembles an armed machine plus its seeded workload. The
+// per-thread counter regions are populated through the sanctioned
+// SetupCtx route so the oracle holds the baseline.
+func buildSim(seed int64, inj *chaos.Injector) (*sim.System, func(sim.Ctx, int), error) {
+	s, err := sim.New(simConfig(inj))
+	if err != nil {
+		return nil, nil, err
+	}
+	bases := make([]mem.Addr, simThreads)
+	setup := s.SetupCtx()
+	for t := 0; t < simThreads; t++ {
+		a, err := s.Heap().AllocLine(uint64(simWords * mem.WordSize))
+		if err != nil {
+			return nil, nil, err
+		}
+		bases[t] = a
+		for w := 0; w < simWords; w++ {
+			setup.Store(a+mem.Addr(w*mem.WordSize), 0)
+		}
+	}
+	workload := func(ctx sim.Ctx, id int) {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919))
+		for k := 0; k < simTxns; k++ {
+			ctx.TxBegin()
+			for j := 0; j < 3; j++ {
+				a := bases[id] + mem.Addr(rng.Intn(simWords)*mem.WordSize)
+				v := ctx.Load(a)
+				ctx.Compute(10)
+				ctx.Store(a, v+1)
+			}
+			ctx.TxCommit()
+		}
+	}
+	return s, workload, nil
+}
+
+func runSim(sc Scenario, seed int64, res *RunResult) {
+	plan := chaos.Plan{Seed: seed, Sites: sc.Sites}
+
+	// Probe pass: the same plan on a fresh machine measures the run's
+	// wall cycles (timing faults shift them, so the probe must be armed
+	// identically — determinism makes the two runs cycle-identical).
+	probe, w, err := buildSim(seed, chaos.New(plan))
+	if err != nil {
+		res.failf("build probe machine: %v", err)
+		return
+	}
+	if err := probe.RunN(w); err != nil {
+		res.failf("probe run: %v", err)
+		return
+	}
+	total := probe.WallCycles()
+	if total < 2 {
+		res.failf("probe run finished in %d cycles", total)
+		return
+	}
+
+	// Crash run: power loss at a seed-derived cycle inside the run.
+	crashAt := uint64(rand.New(rand.NewSource(seed)).Int63n(int64(total-1))) + 1
+	res.CrashCycle = crashAt
+	inj := chaos.New(plan)
+	defer res.finishLedger(inj)
+	s, w, err := buildSim(seed, inj)
+	if err != nil {
+		res.failf("build machine: %v", err)
+		return
+	}
+	s.ScheduleCrash(crashAt)
+	if err := s.RunN(w); !errors.Is(err, sim.ErrCrashed) {
+		res.failf("crash@%d did not fire: %v", crashAt, err)
+		return
+	}
+
+	rep, err := s.Recover()
+	if err != nil {
+		res.failf("recovery crash@%d: %v", crashAt, err)
+		return
+	}
+	for _, bad := range s.VerifyRecovery(rep, crashAt) {
+		res.failf("crash@%d: %s", crashAt, bad)
+	}
+
+	// The machine must also come back: reboot over the recovered image
+	// and run a fresh workload to completion.
+	if err := s.Reboot(); err != nil {
+		res.failf("reboot crash@%d: %v", crashAt, err)
+		return
+	}
+	if err := s.RunN(func(ctx sim.Ctx, id int) {
+		ctx.TxBegin()
+		ctx.Compute(5)
+		ctx.TxCommit()
+	}); err != nil {
+		res.failf("post-reboot run crash@%d: %v", crashAt, err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package chaos is the deterministic fault-injection plane: a single
+// seeded RNG plus per-fault-site triggers drive injection at named sites
+// across the simulated machine (torn log lines and partial log-buffer
+// drains in the memory controller, dropped forced write-backs in the
+// cache hierarchy, delayed write-backs and stalled banks in the NVRAM
+// device) and the server's network path (connection drops mid-window,
+// delayed/duplicated acks, spurious retry backpressure).
+//
+// Every fault a run injects is recorded in a Ledger keyed by the plan's
+// seed, so a failing run reproduces from `-seed N` alone and a flight
+// dump carries the full injection history next to the crash evidence.
+//
+// The package is intentionally standard-library-only: the memory
+// controller, NVRAM device, cache hierarchy, sim, server, and flight
+// recorder all import it, and it must sit below every one of them in
+// the dependency order. The campaign engine that needs those packages
+// lives in chaos/campaign instead.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Site names one fault-injection point. The string is stable: it keys
+// plans, ledgers, and campaign reports.
+type Site string
+
+const (
+	// SiteTornLogLine tears an in-flight log-line transfer at power
+	// loss: a random prefix of the line reaches the DIMM, the rest
+	// reverts — the exact state the torn-bit/magic/pass-stamp decode
+	// check must reject (paper Section IV-B).
+	SiteTornLogLine Site = "torn-log-line"
+	// SitePartialDrain models a log-buffer drain racing power loss: a
+	// buffered-but-undrained slot lands partially in NVRAM instead of
+	// vanishing entirely.
+	SitePartialDrain Site = "partial-drain"
+	// SiteDropFWB makes one FWB scan pass skip forcing a flagged dirty
+	// line (the write-back is dropped; the line stays dirty and is
+	// retried next scan). Log truncation must keep waiting.
+	SiteDropFWB Site = "drop-fwb"
+	// SiteDelayWB extends a data write-back's completion by Arg cycles,
+	// reordering completions across banks; truncation gates on actual
+	// completion, not issue order.
+	SiteDelayWB Site = "delay-wb"
+	// SiteBankStall holds an NVRAM bank busy for Arg extra cycles
+	// before an access starts (a slow PCM bank).
+	SiteBankStall Site = "bank-stall"
+	// SiteConnDrop closes a server connection mid-pipeline-window,
+	// before a response frame goes out.
+	SiteConnDrop Site = "conn-drop"
+	// SiteDelayAck sleeps Arg nanoseconds before writing an ack frame.
+	SiteDelayAck Site = "delay-ack"
+	// SiteDupAck writes an ack frame twice; the client must drop the
+	// duplicate instead of dying.
+	SiteDupAck Site = "dup-ack"
+	// SiteSpuriousRetry answers a routable request with StatusRetry,
+	// exercising the client's transparent resend path.
+	SiteSpuriousRetry Site = "spurious-retry"
+)
+
+// Sites lists every known site in stable order.
+func Sites() []Site {
+	return []Site{
+		SiteTornLogLine, SitePartialDrain, SiteDropFWB, SiteDelayWB,
+		SiteBankStall, SiteConnDrop, SiteDelayAck, SiteDupAck,
+		SiteSpuriousRetry,
+	}
+}
+
+// SiteConfig arms one site. Exactly one of Prob/Every selects the
+// trigger; both zero leaves the site disarmed.
+type SiteConfig struct {
+	// Prob fires each opportunity independently with this probability
+	// (drawn from the injector's seeded RNG — deterministic wherever
+	// opportunities arrive in a deterministic order, i.e. the whole
+	// simulated machine).
+	Prob float64 `json:"prob,omitempty"`
+	// Every fires on every Nth opportunity (count-based: deterministic
+	// at the fault-schedule level even when opportunities race across
+	// goroutines, which is what the server's network sites need).
+	Every uint64 `json:"every,omitempty"`
+	// Max caps the total injections at this site; 0 = unlimited.
+	Max uint64 `json:"max,omitempty"`
+	// Arg is the site-specific magnitude: stall/delay cycles for the
+	// timing sites, nanoseconds for delay-ack.
+	Arg uint64 `json:"arg,omitempty"`
+}
+
+// Plan is one run's complete fault schedule: the seed and the armed
+// sites. An empty Sites map injects nothing (but still stamps the seed
+// into the ledger).
+type Plan struct {
+	Seed  int64               `json:"seed"`
+	Sites map[Site]SiteConfig `json:"sites,omitempty"`
+}
+
+// Fault is one ledger entry: the nth injection overall, at which site,
+// on which opportunity count, with what address/argument.
+type Fault struct {
+	Seq   uint64 `json:"seq"`
+	Site  Site   `json:"site"`
+	Count uint64 `json:"count"` // site opportunity counter when it fired
+	Addr  uint64 `json:"addr,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+// Ledger is the injection history a run leaves behind — embedded in
+// flight dumps and campaign reports so every verdict can be read next
+// to the exact faults that produced it.
+type Ledger struct {
+	Seed     int64           `json:"seed"`
+	Injected uint64          `json:"injected"`
+	Counts   map[Site]uint64 `json:"counts,omitempty"` // injections per site
+	// Opportunities counts every evaluation per armed site — proof the
+	// site was actually exercised even when nothing fired.
+	Opportunities map[Site]uint64 `json:"opportunities,omitempty"`
+	Faults        []Fault         `json:"faults,omitempty"` // first ledgerCap, in order
+	Dropped       uint64          `json:"dropped,omitempty"`
+}
+
+// ledgerCap bounds the per-run fault list; counts stay exact beyond it.
+const ledgerCap = 4096
+
+// Injector evaluates a Plan at run time. The root injector owns the
+// shared state (ledger, per-site counters) behind one mutex; Fork
+// derives named children with independent — but seed-deterministic —
+// RNG streams for components that draw concurrently.
+type Injector struct {
+	plan Plan
+	name string
+	rng  *rand.Rand
+
+	shared *sharedState
+}
+
+// sharedState is the mutex-protected cross-fork state.
+type sharedState struct {
+	mu            sync.Mutex
+	seq           uint64
+	opportunities map[Site]uint64
+	injected      map[Site]uint64
+	faults        []Fault
+	dropped       uint64
+}
+
+// New builds the root injector for a plan.
+func New(plan Plan) *Injector {
+	return &Injector{
+		plan: plan,
+		name: "root",
+		rng:  rand.New(rand.NewSource(plan.Seed)),
+		shared: &sharedState{
+			opportunities: make(map[Site]uint64),
+			injected:      make(map[Site]uint64),
+		},
+	}
+}
+
+// Fork derives a child injector whose RNG stream is a pure function of
+// (seed, name): components that evaluate probabilities on their own
+// goroutine (a server shard, a connection writer) each fork so
+// scheduling noise in one stream cannot perturb another. Ledger and
+// counters stay shared with the root.
+func (in *Injector) Fork(name string) *Injector {
+	if in == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", in.plan.Seed, name)
+	return &Injector{
+		plan:   in.plan,
+		name:   name,
+		rng:    rand.New(rand.NewSource(int64(h.Sum64()))),
+		shared: in.shared,
+	}
+}
+
+// Seed reports the plan's seed (printed in every failure message).
+func (in *Injector) Seed() int64 { return in.plan.Seed }
+
+// Plan returns the plan the injector evaluates.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// hit evaluates one opportunity at site under the shared lock.
+func (in *Injector) hit(site Site, addr, arg uint64) bool {
+	cfg, armed := in.plan.Sites[site]
+	if !armed || (cfg.Prob <= 0 && cfg.Every == 0) {
+		return false
+	}
+	st := in.shared
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.opportunities[site]++
+	n := st.opportunities[site]
+	if cfg.Max > 0 && st.injected[site] >= cfg.Max {
+		return false
+	}
+	fire := false
+	switch {
+	case cfg.Every > 0:
+		fire = n%cfg.Every == 0
+	default:
+		fire = in.rng.Float64() < cfg.Prob
+	}
+	if !fire {
+		return false
+	}
+	st.seq++
+	st.injected[site]++
+	if len(st.faults) < ledgerCap {
+		st.faults = append(st.faults, Fault{
+			Seq: st.seq, Site: site, Count: n, Addr: addr, Arg: arg,
+		})
+	} else {
+		st.dropped++
+	}
+	return true
+}
+
+// Hit reports whether to inject at this opportunity, recording the
+// fault in the ledger when it fires. Nil-safe: a nil injector never
+// fires, so call sites need no guard beyond the pointer check they
+// already do for tracers.
+func (in *Injector) Hit(site Site, addr uint64) bool {
+	if in == nil {
+		return false
+	}
+	return in.hit(site, addr, 0)
+}
+
+// HitArg is Hit plus the site's configured magnitude (stall cycles,
+// delay nanoseconds). The magnitude is recorded in the ledger entry.
+func (in *Injector) HitArg(site Site, addr uint64) (uint64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	arg := in.plan.Sites[site].Arg
+	if !in.hit(site, addr, arg) {
+		return 0, false
+	}
+	return arg, true
+}
+
+// HitFrac is Hit plus a deterministic fraction in (0,1) drawn from the
+// injector's RNG — the torn-prefix length for partial-write sites. The
+// fraction (in parts per thousand) lands in the ledger's Arg.
+func (in *Injector) HitFrac(site Site, addr uint64) (float64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	st := in.shared
+	st.mu.Lock()
+	frac := in.rng.Float64()
+	st.mu.Unlock()
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	if !in.hit(site, addr, uint64(frac*1000)) {
+		return 0, false
+	}
+	return frac, true
+}
+
+// Injected reports the total number of faults injected so far.
+func (in *Injector) Injected() uint64 {
+	if in == nil {
+		return 0
+	}
+	st := in.shared
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// Ledger snapshots the injection history (safe to call concurrently
+// with live injection; the snapshot is a deep copy).
+func (in *Injector) Ledger() *Ledger {
+	if in == nil {
+		return nil
+	}
+	st := in.shared
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	l := &Ledger{
+		Seed:     in.plan.Seed,
+		Injected: st.seq,
+		Dropped:  st.dropped,
+		Faults:   append([]Fault(nil), st.faults...),
+	}
+	if len(st.injected) > 0 {
+		l.Counts = make(map[Site]uint64, len(st.injected))
+		for s, n := range st.injected {
+			l.Counts[s] = n
+		}
+	}
+	if len(st.opportunities) > 0 {
+		l.Opportunities = make(map[Site]uint64, len(st.opportunities))
+		for s, n := range st.opportunities {
+			l.Opportunities[s] = n
+		}
+	}
+	return l
+}
+
+// String renders the ledger compactly: seed, total, per-site counts.
+func (l *Ledger) String() string {
+	if l == nil {
+		return "chaos: none"
+	}
+	s := fmt.Sprintf("chaos seed=%d injected=%d", l.Seed, l.Injected)
+	sites := make([]string, 0, len(l.Counts))
+	for site := range l.Counts {
+		sites = append(sites, string(site))
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		s += fmt.Sprintf(" %s=%d", site, l.Counts[Site(site)])
+	}
+	return s
+}

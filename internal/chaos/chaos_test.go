@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func probPlan(seed int64, prob float64) Plan {
+	return Plan{Seed: seed, Sites: map[Site]SiteConfig{
+		SiteTornLogLine: {Prob: prob},
+	}}
+}
+
+// TestHitStreamDeterministic: two injectors built from the same plan
+// produce bit-identical decision streams — the property every
+// "replays from -seed N alone" claim in the campaign rests on.
+func TestHitStreamDeterministic(t *testing.T) {
+	a := New(probPlan(42, 0.3))
+	b := New(probPlan(42, 0.3))
+	for i := 0; i < 1000; i++ {
+		if a.Hit(SiteTornLogLine, uint64(i)) != b.Hit(SiteTornLogLine, uint64(i)) {
+			t.Fatalf("decision streams diverge at opportunity %d", i)
+		}
+	}
+	la, lb := a.Ledger(), b.Ledger()
+	if la.Injected == 0 {
+		t.Fatal("prob 0.3 over 1000 opportunities injected nothing")
+	}
+	if !reflect.DeepEqual(la, lb) {
+		t.Fatalf("ledgers diverge:\n%+v\n%+v", la, lb)
+	}
+}
+
+// TestSeedChangesStream: a different seed must actually change the
+// fault schedule (otherwise the campaign's seed sweep is one run).
+func TestSeedChangesStream(t *testing.T) {
+	a, b := New(probPlan(1, 0.5)), New(probPlan(2, 0.5))
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Hit(SiteTornLogLine, 0) != b.Hit(SiteTornLogLine, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 200-decision streams")
+	}
+}
+
+// TestForkStreams: forks are deterministic functions of (seed, name) —
+// same name, same stream; different names, independent streams — and
+// all forks share one ledger with the root.
+func TestForkStreams(t *testing.T) {
+	mk := func() (*Injector, *Injector, *Injector) {
+		root := New(probPlan(7, 0.5))
+		return root, root.Fork("conn-1"), root.Fork("conn-2")
+	}
+	r1, a1, b1 := mk()
+	_, a2, _ := mk()
+
+	var sa1, sa2, sb1 []bool
+	for i := 0; i < 200; i++ {
+		sa1 = append(sa1, a1.Hit(SiteTornLogLine, 0))
+		sa2 = append(sa2, a2.Hit(SiteTornLogLine, 0))
+		sb1 = append(sb1, b1.Hit(SiteTornLogLine, 0))
+	}
+	if !reflect.DeepEqual(sa1, sa2) {
+		t.Fatal("same fork name, same seed: streams differ")
+	}
+	if reflect.DeepEqual(sa1, sb1) {
+		t.Fatal("different fork names produced identical streams")
+	}
+	led := r1.Ledger()
+	if led.Injected == 0 || led.Injected != a1.Injected() {
+		t.Fatalf("forks must share the root ledger: root=%d fork=%d", led.Injected, a1.Injected())
+	}
+}
+
+// TestEveryTrigger: count-based sites fire on exactly every Nth
+// opportunity, independent of the RNG.
+func TestEveryTrigger(t *testing.T) {
+	in := New(Plan{Seed: 3, Sites: map[Site]SiteConfig{
+		SiteConnDrop: {Every: 5},
+	}})
+	for i := 1; i <= 25; i++ {
+		got := in.Hit(SiteConnDrop, 0)
+		if want := i%5 == 0; got != want {
+			t.Fatalf("opportunity %d: fired=%v, want %v", i, got, want)
+		}
+	}
+	if led := in.Ledger(); led.Counts[SiteConnDrop] != 5 || led.Opportunities[SiteConnDrop] != 25 {
+		t.Fatalf("ledger: %+v", led)
+	}
+}
+
+// TestMaxCap: Max stops injection but keeps counting opportunities.
+func TestMaxCap(t *testing.T) {
+	in := New(Plan{Seed: 3, Sites: map[Site]SiteConfig{
+		SiteDropFWB: {Every: 1, Max: 4},
+	}})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if in.Hit(SiteDropFWB, 0) {
+			fired++
+		}
+	}
+	led := in.Ledger()
+	if fired != 4 || led.Counts[SiteDropFWB] != 4 {
+		t.Fatalf("Max=4: fired %d, ledger %d", fired, led.Counts[SiteDropFWB])
+	}
+	if led.Opportunities[SiteDropFWB] != 100 {
+		t.Fatalf("opportunities %d, want 100", led.Opportunities[SiteDropFWB])
+	}
+}
+
+// TestDisarmedSites: unarmed sites and zero-valued configs never fire
+// and record no opportunities (the fast path takes no lock).
+func TestDisarmedSites(t *testing.T) {
+	in := New(Plan{Seed: 1, Sites: map[Site]SiteConfig{
+		SiteBankStall: {}, // armed with no trigger: still disarmed
+	}})
+	for i := 0; i < 50; i++ {
+		if in.Hit(SiteBankStall, 0) || in.Hit(SiteDelayWB, 0) {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if led := in.Ledger(); led.Injected != 0 || len(led.Opportunities) != 0 {
+		t.Fatalf("disarmed run left a ledger: %+v", led)
+	}
+}
+
+// TestHitArgAndFrac: the magnitude variants carry the configured Arg
+// and a fraction strictly inside (0,1), both recorded in the ledger.
+func TestHitArgAndFrac(t *testing.T) {
+	in := New(Plan{Seed: 9, Sites: map[Site]SiteConfig{
+		SiteDelayWB:      {Every: 1, Arg: 2000},
+		SitePartialDrain: {Every: 1},
+	}})
+	if arg, ok := in.HitArg(SiteDelayWB, 0x100); !ok || arg != 2000 {
+		t.Fatalf("HitArg = %d, %v", arg, ok)
+	}
+	frac, ok := in.HitFrac(SitePartialDrain, 0x200)
+	if !ok || frac <= 0 || frac >= 1 {
+		t.Fatalf("HitFrac = %v, %v", frac, ok)
+	}
+	led := in.Ledger()
+	if len(led.Faults) != 2 {
+		t.Fatalf("faults: %+v", led.Faults)
+	}
+	if led.Faults[0].Arg != 2000 || led.Faults[0].Addr != 0x100 {
+		t.Fatalf("delay-wb fault: %+v", led.Faults[0])
+	}
+	if f := led.Faults[1]; f.Arg == 0 || f.Arg >= 1000 {
+		t.Fatalf("partial-drain frac (ppt) out of range: %+v", f)
+	}
+}
+
+// TestLedgerCapBoundsFaultList: beyond ledgerCap the fault list stops
+// growing but exact counts continue (Dropped accounts for the rest).
+func TestLedgerCapBoundsFaultList(t *testing.T) {
+	in := New(Plan{Seed: 1, Sites: map[Site]SiteConfig{
+		SiteDupAck: {Every: 1},
+	}})
+	n := uint64(ledgerCap + 500)
+	for i := uint64(0); i < n; i++ {
+		in.Hit(SiteDupAck, 0)
+	}
+	led := in.Ledger()
+	if len(led.Faults) != ledgerCap || led.Dropped != 500 || led.Injected != n {
+		t.Fatalf("cap: faults=%d dropped=%d injected=%d", len(led.Faults), led.Dropped, led.Injected)
+	}
+}
+
+// TestNilInjector: every evaluation entry point is a no-op on nil, so
+// the components' hook sites need no guards of their own.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Hit(SiteTornLogLine, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if _, ok := in.HitArg(SiteDelayWB, 0); ok {
+		t.Fatal("nil HitArg fired")
+	}
+	if _, ok := in.HitFrac(SitePartialDrain, 0); ok {
+		t.Fatal("nil HitFrac fired")
+	}
+	if in.Fork("x") != nil {
+		t.Fatal("nil Fork must stay nil")
+	}
+	if in.Injected() != 0 || in.Ledger() != nil {
+		t.Fatal("nil ledger access")
+	}
+	if s := in.Ledger().String(); s != "chaos: none" {
+		t.Fatalf("nil ledger String = %q", s)
+	}
+}

@@ -29,7 +29,7 @@ const (
 	VerdictUnlogged Verdict = "unlogged"
 )
 
-// Finding is the doctor's ruling on one in-flight span.
+// Finding is the doctor's ruling on one span (in-flight or acked).
 type Finding struct {
 	Span    SpanSnapshot `json:"span"`
 	Verdict Verdict      `json:"verdict"`
@@ -44,6 +44,17 @@ type Finding struct {
 	RecoveryCommitted   bool `json:"recovery_committed"`
 	RecoveryUncommitted bool `json:"recovery_uncommitted"`
 	Agrees              bool `json:"agrees"`
+
+	// Acked marks a mutating span whose OK response went out: the server
+	// promised durability, so recovery rolling its transaction back is a
+	// correctness violation, not a crash artifact.
+	Acked bool `json:"acked,omitempty"`
+	// AckedLost is the fatal ruling: an acked span whose transaction
+	// recovery undid (or whose durable records carry no commit marker).
+	// A truncated acked span — zero records, no commit — is NOT lost:
+	// truncation only retires transactions after their data write-backs
+	// completed, so the log legitimately forgets them.
+	AckedLost bool `json:"acked_lost,omitempty"`
 
 	Timeline []Event `json:"timeline,omitempty"`
 }
@@ -87,21 +98,50 @@ func (a *Analysis) Agreement() bool {
 	return true
 }
 
+// AckedLoss counts findings where an acknowledged write did not survive
+// recovery — the one verdict class that must exit pmdoctor -strict
+// non-zero (a torn-but-rolled-back in-flight request is normal crash
+// behavior; a lost ack is a broken durability promise).
+func (a *Analysis) AckedLoss() int {
+	n := 0
+	for _, s := range a.Shards {
+		for _, f := range s.Findings {
+			if f.AckedLost {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // ImageOpener maps a shard index to its NVRAM image. Analyze reads the
 // image fully into memory; the on-disk file is never mutated even
 // though the recovery pass scrubs its working copy's log metadata.
 type ImageOpener func(shard int) (io.ReadCloser, error)
 
 // Analyze cross-checks a dump against the shards' NVRAM log images:
-// for every in-flight span with an attributed transaction it scans the
-// shard's durable log records, rules the transaction committed / torn /
+// for every in-flight span with an attributed transaction — and every
+// acknowledged span the slow ring retained — it scans the shard's
+// durable log records, rules the transaction committed / torn /
 // unlogged, and verifies the ruling against what recovery.RecoverAll
-// actually replays from the same image.
+// actually replays from the same image. Acked mutating spans whose
+// transaction recovery undid are additionally ruled AckedLost: a
+// broken durability promise.
+//
+// Limitation: txids are the low 16 bits of a run-unique handle, so a
+// slow-ring span from more than 65536 transactions ago can collide
+// with a live transaction and misattribute its evidence. Campaign runs
+// stay far below that; long-lived servers should read AckedLost only
+// for recent spans.
 func Analyze(d *Dump, open ImageOpener) (*Analysis, error) {
 	an := &Analysis{}
 
-	// Group the spans needing a ruling by shard.
+	// Group the spans needing a ruling by shard. In-flight spans first;
+	// then the slow ring's completed spans, which carry the ack
+	// evidence (an acked span that recovery rolls back is the one
+	// failure no crash is allowed to produce).
 	byShard := map[int][]SpanSnapshot{}
+	seen := map[uint64]bool{}
 	for _, sp := range d.InFlight {
 		if sp.Shard < 0 || sp.TxID == 0 {
 			// Died before reaching a shard or before its txn began:
@@ -110,6 +150,15 @@ func Analyze(d *Dump, open ImageOpener) (*Analysis, error) {
 			an.InFlightUnattributed++
 			continue
 		}
+		seen[sp.ID] = true
+		byShard[sp.Shard] = append(byShard[sp.Shard], sp)
+	}
+	for _, sp := range d.Slow {
+		if sp.Shard < 0 || sp.TxID == 0 || seen[sp.ID] {
+			// Reads and unrouted spans carry no durability promise.
+			continue
+		}
+		seen[sp.ID] = true
 		byShard[sp.Shard] = append(byShard[sp.Shard], sp)
 	}
 
@@ -190,6 +239,13 @@ func Analyze(d *Dump, open ImageOpener) (*Analysis, error) {
 			case VerdictUnlogged:
 				f.Agrees = !f.RecoveryCommitted && !f.RecoveryUncommitted
 			}
+			// An acked mutating span must survive: rollback of its txn
+			// (or durable records with no commit marker) is a lost ack.
+			// Zero records with no commit is truncation — the log
+			// legitimately forgot a fully written-back transaction.
+			f.Acked = sp.Status == int(statusOK) && mutatingOp(sp.Op)
+			f.AckedLost = f.Acked &&
+				(f.RecoveryUncommitted || (f.Records > 0 && !f.HasCommit))
 			sa.Findings = append(sa.Findings, f)
 		}
 		sort.Slice(sa.Findings, func(i, j int) bool {
@@ -198,6 +254,22 @@ func Analyze(d *Dump, open ImageOpener) (*Analysis, error) {
 		an.Shards = append(an.Shards, sa)
 	}
 	return an, nil
+}
+
+// Wire constants mirrored from internal/server/protocol.go (server
+// imports flight, so flight cannot import them back; the wire format is
+// frozen and these bytes are part of the dump contract).
+const (
+	statusOK  = byte(0x00)
+	opPut     = byte(0x02)
+	opDel     = byte(0x03)
+	opTxnWire = byte(0x04)
+)
+
+// mutatingOp reports whether the opcode carries a durability promise
+// when acked (PUT, DEL, and the atomic TXN batch; reads promise nothing).
+func mutatingOp(op uint8) bool {
+	return op == opPut || op == opDel || op == opTxnWire
 }
 
 // scanTxns counts the durable log records and commit markers per txid

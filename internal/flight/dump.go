@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/obs"
 )
 
@@ -83,6 +84,11 @@ type Dump struct {
 
 	SpanDrops    uint64 `json:"span_drops"`    // span table full
 	SlowCaptured uint64 `json:"slow_captured"` // total slow captures
+
+	// Chaos is the fault-injection ledger when the run was chaos-armed:
+	// the seed and every injected fault, so a crash dump carries the
+	// exact failure schedule that produced it (reproduce with -seed).
+	Chaos *chaos.Ledger `json:"chaos,omitempty"`
 }
 
 // ConvertEvents translates obs snapshot records into dump form.

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestChaosonlyFixture(t *testing.T) {
+	RunFixture(t, Chaosonly, "chaosonly")
+}
+
+// TestChaosonlyExemptsSim runs the analyzer over the sim stub — whose
+// constructor is the sanctioned propagation path for Config.Chaos — and
+// expects silence.
+func TestChaosonlyExemptsSim(t *testing.T) {
+	RunFixture(t, Chaosonly, "pmemlog/internal/sim")
+}
+
+// TestChaosonlyExemptsChaos runs the analyzer over the chaos stub
+// itself: the plane may of course build its own injectors.
+func TestChaosonlyExemptsChaos(t *testing.T) {
+	RunFixture(t, Chaosonly, "pmemlog/internal/chaos")
+}

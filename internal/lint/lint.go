@@ -19,6 +19,9 @@
 //	noallochotpath  no per-op heap allocation (make into locals, appends
 //	                onto fresh slices) in nvlog append/truncate or the
 //	                shard apply/store hot functions
+//	chaosonly       fault-injection arming (chaos.New, SetChaos,
+//	                Config.Chaos writes) confined to the chaos plane,
+//	                cmd/pmchaos, and sim construction
 //
 // Findings can be suppressed one-at-a-time with a `//pmlint:allow <rule>`
 // directive on the offending line or the line above (see allow.go); an
@@ -48,7 +51,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in report order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath, Noallochotpath}
+	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath, Noallochotpath, Chaosonly}
 }
 
 // Pass carries one analyzer's view of one package.

@@ -1,0 +1,67 @@
+// Fixtures for the chaosonly analyzer: every arming entry point — a raw
+// chaos.New, component SetChaos installs, and Config.Chaos writes via
+// assignment and composite literal — used from an ordinary package
+// (which must be flagged), next to the read-only ledger access that
+// must pass.
+package chaosonly
+
+import (
+	"pmemlog/internal/cache"
+	"pmemlog/internal/chaos"
+	"pmemlog/internal/memctl"
+	"pmemlog/internal/nvram"
+	"pmemlog/internal/server"
+	"pmemlog/internal/sim"
+)
+
+func buildInjector() *chaos.Injector {
+	return chaos.New(chaos.Plan{Seed: 1}) // want "chaos.New builds a fault injector outside the chaos plane"
+}
+
+func armComponents(c *memctl.Controller, d *nvram.Device, h *cache.Hierarchy, in *chaos.Injector) {
+	c.SetChaos(in) // want "\\(Controller\\).SetChaos arms fault injection outside sim construction"
+	d.SetChaos(in) // want "\\(Device\\).SetChaos arms fault injection outside sim construction"
+	h.SetChaos(in) // want "\\(Hierarchy\\).SetChaos arms fault injection outside sim construction"
+}
+
+func armSimByAssignment(in *chaos.Injector) sim.Config {
+	var cfg sim.Config
+	cfg.NVRAMBytes = 1 << 20
+	cfg.Chaos = in // want "assigning Config.Chaos arms fault injection"
+	return cfg
+}
+
+func armSimByLiteral(in *chaos.Injector) (*sim.System, error) {
+	return sim.New(sim.Config{
+		NVRAMBytes: 1 << 20,
+		Chaos:      in, // want "setting Config.Chaos arms fault injection"
+	})
+}
+
+func armServerByLiteral(in *chaos.Injector) server.Config {
+	return server.Config{Addr: ":0", Chaos: in} // want "setting Config.Chaos arms fault injection"
+}
+
+func armServerByPointer(cfg *server.Config, in *chaos.Injector) {
+	cfg.Chaos = in // want "assigning Config.Chaos arms fault injection"
+}
+
+// plainConfig builds unarmed configs: no Chaos field touched, no finding.
+func plainConfig() (sim.Config, server.Config) {
+	cfg := sim.Config{NVRAMBytes: 1 << 20}
+	cfg.NVRAMBytes = 2 << 20
+	return cfg, server.Config{Addr: ":0"}
+}
+
+// readLedger consumes injection history: reading is not arming.
+func readLedger(in *chaos.Injector) *chaos.Ledger {
+	return in.Ledger()
+}
+
+// waived is suppressed one line at a time.
+func waived(in *chaos.Injector) sim.Config {
+	var cfg sim.Config
+	//pmlint:allow chaosonly
+	cfg.Chaos = in
+	return cfg
+}

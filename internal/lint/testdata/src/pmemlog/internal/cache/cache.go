@@ -1,0 +1,10 @@
+// Package cache stubs the cache hierarchy for pmlint fixtures.
+package cache
+
+import "pmemlog/internal/chaos"
+
+// Hierarchy is the L1/L2 cache stack.
+type Hierarchy struct{}
+
+// SetChaos arms (or with nil disarms) the fault injector.
+func (h *Hierarchy) SetChaos(in *chaos.Injector) {}

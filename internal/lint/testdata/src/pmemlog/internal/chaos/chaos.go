@@ -1,0 +1,34 @@
+// Package chaos stubs the fault-injection plane for pmlint fixtures.
+package chaos
+
+// Site names one fault-injection point.
+type Site string
+
+// SiteConfig arms one site.
+type SiteConfig struct {
+	Prob  float64
+	Every uint64
+	Max   uint64
+	Arg   uint64
+}
+
+// Plan is one run's complete fault schedule.
+type Plan struct {
+	Seed  int64
+	Sites map[Site]SiteConfig
+}
+
+// Injector evaluates a Plan at run time.
+type Injector struct{}
+
+// New builds the root injector for a plan.
+func New(plan Plan) *Injector { return &Injector{} }
+
+// Ledger snapshots the injection history.
+func (in *Injector) Ledger() *Ledger { return nil }
+
+// Ledger is the injection history a run leaves behind.
+type Ledger struct {
+	Seed     int64
+	Injected uint64
+}

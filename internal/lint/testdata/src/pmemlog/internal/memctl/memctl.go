@@ -1,0 +1,10 @@
+// Package memctl stubs the memory controller for pmlint fixtures.
+package memctl
+
+import "pmemlog/internal/chaos"
+
+// Controller is the NVRAM memory controller.
+type Controller struct{}
+
+// SetChaos arms (or with nil disarms) the fault injector.
+func (c *Controller) SetChaos(in *chaos.Injector) {}

@@ -1,0 +1,10 @@
+// Package nvram stubs the NVRAM device for pmlint fixtures.
+package nvram
+
+import "pmemlog/internal/chaos"
+
+// Device is one banked NVRAM DIMM.
+type Device struct{}
+
+// SetChaos arms (or with nil disarms) the fault injector.
+func (d *Device) SetChaos(in *chaos.Injector) {}

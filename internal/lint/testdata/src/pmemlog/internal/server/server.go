@@ -7,8 +7,15 @@ package server
 import (
 	"io"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/obs"
 )
+
+// Config describes one server instance.
+type Config struct {
+	Addr  string
+	Chaos *chaos.Injector
+}
 
 type shard struct {
 	id     int

@@ -4,9 +4,19 @@ package sim
 import (
 	"io"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/pheap"
 )
+
+// Config describes one machine to assemble.
+type Config struct {
+	NVRAMBytes uint64
+	Chaos      *chaos.Injector
+}
+
+// New assembles a machine.
+func New(cfg Config) (*System, error) { return &System{}, nil }
 
 // System is one assembled machine instance.
 type System struct{}

@@ -1,0 +1,139 @@
+package memctl
+
+import (
+	"testing"
+
+	"pmemlog/internal/chaos"
+	"pmemlog/internal/mem"
+)
+
+func tornInjector(sites map[chaos.Site]chaos.SiteConfig) *chaos.Injector {
+	return chaos.New(chaos.Plan{Seed: 1, Sites: sites})
+}
+
+// TestCrashTornLogLineKeepsWordPrefix: with the torn-log-line site
+// armed, an in-flight log transfer keeps a non-empty strict prefix of
+// whole 8-byte write units — the only torn shape the persistence
+// domain can physically produce — and the remainder reverts.
+func TestCrashTornLogLineKeepsWordPrefix(t *testing.T) {
+	c := testCtl(t, 4, 8)
+	c.SetChaos(tornInjector(map[chaos.Site]chaos.SiteConfig{
+		chaos.SiteTornLogLine: {Prob: 1},
+	}))
+	line := nvBase + 0x4000
+	payload := make([]byte, mem.LineSize)
+	for i := range payload {
+		payload[i] = 0xFF
+	}
+	c.AppendLog(0, line, payload)
+	done := c.DrainBuffers(100)
+
+	c.Crash(done - 1) // power loss mid-burst
+	got := c.NVRAM().Image().Read(line, mem.LineSize)
+	prefix := 0
+	for prefix < len(got) && got[prefix] == 0xFF {
+		prefix++
+	}
+	if prefix == 0 || prefix >= int(mem.LineSize) {
+		t.Fatalf("torn prefix = %d bytes, want a non-empty strict prefix", prefix)
+	}
+	if prefix%int(mem.WordSize) != 0 {
+		t.Fatalf("torn prefix = %d bytes: tears inside an 8-byte write unit", prefix)
+	}
+	for i := prefix; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d = %#x after the tear point, want reverted 0", i, got[i])
+		}
+	}
+}
+
+// TestCrashTearGatedOnTransferStart: a write whose bus transfer START
+// lies past the crash cycle never reached the DIMM — even with tearing
+// armed it must revert whole, or the injector would fabricate
+// transfers that architecturally never began (e.g. destroying an old
+// record in a reused log slot whose reuse was never unlocked).
+func TestCrashTearGatedOnTransferStart(t *testing.T) {
+	c := testCtl(t, 4, 8)
+	c.SetChaos(tornInjector(map[chaos.Site]chaos.SiteConfig{
+		chaos.SiteTornLogLine: {Prob: 1},
+	}))
+	line := nvBase + 0x4000
+	payload := make([]byte, mem.LineSize)
+	for i := range payload {
+		payload[i] = 0xAB
+	}
+	// The producer's local clock ran ahead: it issued the drain at cycle
+	// 50000, but power was lost at cycle 10.
+	c.AppendLog(50000, line, payload)
+	c.DrainBuffers(50000)
+
+	c.Crash(10)
+	got := c.NVRAM().Image().Read(line, mem.LineSize)
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x survived a transfer that never began", i, b)
+		}
+	}
+}
+
+// TestCrashPartialDrainLandsWordPrefix: the partial-drain site lets a
+// buffered-but-undrained slot land a word-aligned prefix in NVRAM; a
+// slot buffered only after the crash cycle must vanish entirely.
+func TestCrashPartialDrainLandsWordPrefix(t *testing.T) {
+	c := testCtl(t, 4, 8)
+	c.SetChaos(tornInjector(map[chaos.Site]chaos.SiteConfig{
+		chaos.SitePartialDrain: {Prob: 1},
+	}))
+	early := nvBase + 0x4000
+	late := nvBase + 0x5000
+	payload := make([]byte, mem.LineSize)
+	for i := range payload {
+		payload[i] = 0xCD
+	}
+	c.AppendLog(0, early, payload)    // buffered before the crash
+	c.AppendLog(90000, late, payload) // producer clock past the crash
+	c.Crash(1000)                     // no drain ever issued
+
+	img := c.NVRAM().Image()
+	got := img.Read(early, mem.LineSize)
+	prefix := 0
+	for prefix < len(got) && got[prefix] == 0xCD {
+		prefix++
+	}
+	if prefix == 0 || prefix >= int(mem.LineSize) {
+		t.Fatalf("partial drain landed %d bytes, want a non-empty strict prefix", prefix)
+	}
+	if prefix%int(mem.WordSize) != 0 {
+		t.Fatalf("partial drain prefix = %d bytes: tears inside a write unit", prefix)
+	}
+	for i := prefix; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d = %#x past the drain point", i, got[i])
+		}
+	}
+	for i, b := range img.Read(late, mem.LineSize) {
+		if b != 0 {
+			t.Fatalf("post-crash slot leaked byte %d = %#x into NVRAM", i, b)
+		}
+	}
+}
+
+// TestCrashUnarmedMatchesBaseline: with no injector, Crash behaves
+// exactly as before the chaos plane existed — buffered slots vanish,
+// in-flight writes revert whole.
+func TestCrashUnarmedMatchesBaseline(t *testing.T) {
+	c := testCtl(t, 4, 8)
+	line := nvBase + 0x4000
+	payload := make([]byte, mem.LineSize)
+	for i := range payload {
+		payload[i] = 0xEE
+	}
+	c.AppendLog(0, line, payload)
+	done := c.DrainBuffers(100)
+	c.Crash(done - 1)
+	for i, b := range c.NVRAM().Image().Read(line, mem.LineSize) {
+		if b != 0 {
+			t.Fatalf("unarmed crash left byte %d = %#x", i, b)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package memctl
 import (
 	"fmt"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/dram"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/nvram"
@@ -68,10 +69,12 @@ type Stats struct {
 // is sub-line), so recording a write allocates nothing once the pending
 // slice's capacity has warmed up.
 type pendingWrite struct {
-	done uint64
-	addr mem.Addr
-	n    int
-	old  [mem.LineSize]byte
+	start uint64 // cycle the NVRAM bus transfer began
+	done  uint64
+	addr  mem.Addr
+	n     int
+	logw  bool // write carries log records (drain path), not a data line
+	old   [mem.LineSize]byte
 }
 
 // resource models k servers each busy for the duration of one request
@@ -171,6 +174,11 @@ type Controller struct {
 	pending []pendingWrite
 	wbHook  func(addr mem.Addr, done uint64)
 
+	// chaos, when armed via SetChaos (sim construction only — pmlint's
+	// chaosonly rule), injects torn log lines and partial drains at
+	// crash time and write-back completion delays in flight.
+	chaos *chaos.Injector
+
 	// tracer observes drains, stalls, and data write-backs (nil or
 	// disabled: one branch per event site).
 	tracer    *obs.Tracer
@@ -207,6 +215,11 @@ func (c *Controller) Stats() Stats { return c.stats }
 // NVRAM returns the persistent device.
 func (c *Controller) NVRAM() *nvram.Device { return c.nv }
 
+// SetChaos arms (or with nil disarms) the fault injector. Only the sim
+// layer's construction path may call this — never production server
+// defaults (enforced by pmlint's chaosonly rule).
+func (c *Controller) SetChaos(in *chaos.Injector) { c.chaos = in }
+
 // SetWriteBackHook registers a callback invoked for every NVRAM *data*
 // write with its completion cycle. The hardware logging engine uses it to
 // learn when dirty persistent lines became durable, gating circular-log
@@ -219,12 +232,14 @@ func (c *Controller) isNVRAM(addr mem.Addr) bool {
 
 // trackedNVWrite applies bytes at addr to the NVRAM image, recording the
 // prior contents for crash revert, with the write completing at done.
-func (c *Controller) trackedNVWrite(done uint64, addr mem.Addr, bytes []byte) {
+// logw marks log-record transfers (the drain path) so crash-time chaos
+// can tear exactly the class of write the torn-bit scan must survive.
+func (c *Controller) trackedNVWrite(start, done uint64, addr mem.Addr, bytes []byte, logw bool) {
 	if len(bytes) > mem.LineSize {
 		panic(fmt.Sprintf("memctl: tracked NVRAM write of %d bytes exceeds a line", len(bytes)))
 	}
 	img := c.nv.Image()
-	c.pending = append(c.pending, pendingWrite{done: done, addr: addr, n: len(bytes)})
+	c.pending = append(c.pending, pendingWrite{start: start, done: done, addr: addr, n: len(bytes), logw: logw})
 	img.ReadInto(addr, c.pending[len(c.pending)-1].old[:len(bytes)])
 	img.Write(addr, bytes)
 }
@@ -260,8 +275,14 @@ func (c *Controller) WriteBackLine(now uint64, addr mem.Addr, src *mem.Line) uin
 		}
 		start := c.wrQ.start(now)
 		done := c.nv.Access(start, addr, true, mem.LineSize)
+		if extra, ok := c.chaos.HitArg(chaos.SiteDelayWB, uint64(addr)); ok {
+			// Chaos: this write-back completes late, reordering durability
+			// across banks. Truncation gates on LineWriteDone, so a delayed
+			// completion must only delay truncation, never corrupt it.
+			done += extra
+		}
 		c.wrQ.commit(done)
-		c.trackedNVWrite(done, addr, src[:])
+		c.trackedNVWrite(start, done, addr, src[:], false)
 		c.stats.DataWrites++
 		c.stats.DataWriteBytes += mem.LineSize
 		c.tracer.Emit(c.traceRing, done, obs.KindWriteBack, 0, uint64(addr))
@@ -315,7 +336,7 @@ func (c *Controller) drainSlot(now uint64, s *wslot) uint64 {
 		for j < mem.LineSize && s.mask&(1<<uint(j)) != 0 {
 			j++
 		}
-		c.trackedNVWrite(done, s.line+mem.Addr(i), s.data[i:j])
+		c.trackedNVWrite(start, done, s.line+mem.Addr(i), s.data[i:j], true)
 		i = j
 	}
 	return done
@@ -489,7 +510,24 @@ func (c *Controller) Retire(safeCycle uint64) {
 // had not completed is reverted (in reverse application order, restoring
 // overlapping writes correctly). Returns the number of reverted writes.
 // DRAM contents are cleared by the caller via the dram device.
+//
+// With a chaos injector armed, power loss is made messier — strictly
+// within the states the design claims to survive:
+//
+//   - torn-log-line: an in-flight log transfer keeps a random byte
+//     prefix on the DIMM instead of reverting entirely (a partial line
+//     burst at power loss). The torn-bit/magic/pass-stamp decode must
+//     reject the fragment.
+//   - partial-drain: a buffered-but-undrained log slot lands partially
+//     in NVRAM, as if its drain had started and lost power mid-burst.
+//
+// Both only ever touch writes that were NOT durably acknowledged (the
+// DrainBuffers high-water interlock orders every ack after its drains
+// complete), so no injected state may cost an acked transaction.
 func (c *Controller) Crash(atCycle uint64) int {
+	if c.chaos != nil {
+		c.chaosPartialDrains(atCycle)
+	}
 	c.wcb.reset()
 	c.logbuf.reset()
 	img := c.nv.Image()
@@ -497,7 +535,30 @@ func (c *Controller) Crash(atCycle uint64) int {
 	for i := len(c.pending) - 1; i >= 0; i-- {
 		p := &c.pending[i]
 		if p.done > atCycle {
-			img.Write(p.addr, p.old[:p.n])
+			keep := 0
+			// Tearing is physical only for a burst actually on the bus at
+			// power loss: a write whose simulated START lies past the
+			// crash cycle never reached the DIMM at all (the producer's
+			// local clock ran ahead of the crash) and must revert whole —
+			// a partial image of it would fabricate a transfer that never
+			// began, e.g. clobbering a reused log slot whose reuse was
+			// gated on a head persist that also never started.
+			if p.logw && p.n > mem.WordSize && p.start <= atCycle {
+				if frac, ok := c.chaos.HitFrac(chaos.SiteTornLogLine, uint64(p.addr)); ok {
+					// Keep a non-empty strict prefix of whole 8-byte
+					// write units: the persistence domain tears at word
+					// granularity, never inside a word.
+					keep = 1 + int(frac*float64(p.n-1))
+					keep &^= mem.WordSize - 1
+					if keep == 0 {
+						keep = mem.WordSize
+					}
+					if keep >= p.n {
+						keep = p.n - mem.WordSize
+					}
+				}
+			}
+			img.Write(p.addr+mem.Addr(keep), p.old[keep:p.n])
 			reverted++
 		}
 	}
@@ -511,4 +572,41 @@ func (c *Controller) Crash(atCycle uint64) int {
 		c.dr.PowerLoss()
 	}
 	return reverted
+}
+
+// chaosPartialDrains lets power loss catch a log-buffer drain mid-burst:
+// for each buffered slot the injector picks, a prefix of its valid bytes
+// is applied to the image (no revert tracking — the crash is final)
+// before the buffers are discarded. Only masked bytes are touched, so a
+// slot that coalesced behind an already-durable record can never corrupt
+// that record's bytes.
+func (c *Controller) chaosPartialDrains(atCycle uint64) {
+	img := c.nv.Image()
+	for i := 0; i < c.logbuf.n; i++ {
+		s := c.logbuf.at(i)
+		// A slot whose latest enqueue lies past the crash cycle was (at
+		// least partly) buffered by a producer whose local clock ran
+		// ahead of the power loss; architecturally those bytes never
+		// entered the buffer, so the slot just vanishes.
+		if s.since > atCycle {
+			continue
+		}
+		frac, ok := c.chaos.HitFrac(chaos.SitePartialDrain, uint64(s.line))
+		if !ok {
+			continue
+		}
+		// The drain burst lands whole 8-byte write units: apply the
+		// masked bytes of a strict prefix of the line's words, so the
+		// torn state is one the persistence domain can really produce.
+		keepWords := 1 + int(frac*float64(mem.WordsPerLine-2))
+		if keepWords >= mem.WordsPerLine {
+			keepWords = mem.WordsPerLine - 1
+		}
+		for b := 0; b < keepWords*mem.WordSize; b++ {
+			if s.mask&(1<<uint(b)) == 0 {
+				continue
+			}
+			img.Write(s.line+mem.Addr(b), s.data[b:b+1])
+		}
+	}
 }

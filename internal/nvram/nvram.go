@@ -17,6 +17,7 @@ package nvram
 import (
 	"fmt"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/mem"
 )
 
@@ -73,7 +74,15 @@ type Device struct {
 	stats     Stats
 	wear      map[mem.Addr]uint64 // writes per line, for lifetime analysis
 	trackWear bool
+
+	// chaos, when armed via SetChaos (sim construction only), stalls
+	// banks for extra cycles before an access starts.
+	chaos *chaos.Injector
 }
+
+// SetChaos arms (or with nil disarms) the fault injector (pmlint's
+// chaosonly rule confines callers to the sim layer).
+func (d *Device) SetChaos(in *chaos.Injector) { d.chaos = in }
 
 // New creates a device backed by a fresh physical image at [base, base+size).
 func New(cfg Config, base mem.Addr, size uint64) (*Device, error) {
@@ -142,6 +151,12 @@ func (d *Device) Access(now uint64, addr mem.Addr, write bool, bytes int) uint64
 	start := max64(now, d.bankFree[bank])
 	// Serialize on the shared data bus as well.
 	start = max64(start, d.busFree)
+	if stall, ok := d.chaos.HitArg(chaos.SiteBankStall, uint64(line)); ok {
+		// Chaos: the bank answers late. Pure timing perturbation — every
+		// durability gate keys on the returned completion cycle, so a
+		// stall may reorder and delay but never lose a write.
+		start += stall
+	}
 
 	hit := d.openRow[bank] == row
 	var lat uint64

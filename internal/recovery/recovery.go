@@ -44,6 +44,16 @@ type Report struct {
 	// durable forward proves everything ordered before that grow —
 	// including all earlier truncations' data write-backs — reached NVRAM.
 	Hops []int `json:"hops"`
+	// RejectedAddrs counts update records whose target address fell
+	// outside the NVRAM image. A record can pass the torn-bit decode with
+	// a garbage body: the torn bit, magic, and pass stamp all live in the
+	// record's first 8-byte word, and NVRAM tears at write-unit (not
+	// record) granularity, so a crash mid-record leaves a valid header
+	// over a stale or scrubbed body. Such a record's store can never have
+	// reached NVRAM (the log-before-data interlock orders data behind the
+	// *completed* record write), so skipping it is the only sound move —
+	// dereferencing it would fault the recovery handler.
+	RejectedAddrs int `json:"rejected_addrs,omitempty"`
 }
 
 // Recover runs the full procedure against a post-crash NVRAM image.
@@ -109,6 +119,13 @@ func RecoverAll(img *mem.Physical, logBases []mem.Addr) (Report, error) {
 		}
 	}
 
+	// Addresses are validated before any dereference: a torn record can
+	// carry a valid first word (torn bit, magic, pass stamp) over a
+	// garbage body, and recovery must reject it, not fault on it.
+	inImage := func(a mem.Addr) bool {
+		return a >= img.Base() && uint64(a-img.Base())+mem.WordSize <= img.Size()
+	}
+
 	// Step 3a: redo committed transactions' updates in log order.
 	style := meta.Style
 	for _, e := range entries {
@@ -117,6 +134,10 @@ func RecoverAll(img *mem.Physical, logBases []mem.Addr) (Report, error) {
 		}
 		if style == nvlog.UndoOnly {
 			continue // undo-only logs cannot redo (clwb forced the data)
+		}
+		if !inImage(e.Addr) {
+			rep.RejectedAddrs++
+			continue
 		}
 		img.WriteWord(e.Addr, e.Redo)
 		rep.RedoWrites++
@@ -134,6 +155,10 @@ func RecoverAll(img *mem.Physical, logBases []mem.Addr) (Report, error) {
 		}
 		if style == nvlog.RedoOnly {
 			continue // redo-only logs cannot undo (they rely on ordering)
+		}
+		if !inImage(e.Addr) {
+			rep.RejectedAddrs++
+			continue
 		}
 		if style == nvlog.UndoRedo && img.ReadWord(e.Addr) != e.Redo {
 			continue

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"pmemlog/internal/chaos"
+)
+
+func chaosConfig(dir string, plan chaos.Plan) Config {
+	cfg := testConfig(dir)
+	cfg.Chaos = chaos.New(plan)
+	return cfg
+}
+
+// TestClientSurvivesDupAcks: with every 3rd ack frame duplicated on
+// the wire, a pipelined client must recognize the retransmits via its
+// recently-completed ring and drop them instead of failing the stream.
+func TestClientSurvivesDupAcks(t *testing.T) {
+	cfg := chaosConfig(t.TempDir(), chaos.Plan{Seed: 5, Sites: map[chaos.Site]chaos.SiteConfig{
+		chaos.SiteDupAck: {Every: 3},
+	}})
+	srv, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := DialPipelined(srv.Addr(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 10
+
+	for i := 0; i < 60; i++ {
+		key := []byte(fmt.Sprintf("dup-%02d", i))
+		if err := c.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d under dup-acks: %v", i, err)
+		}
+	}
+	if n := cfg.Chaos.Ledger().Counts[chaos.SiteDupAck]; n == 0 {
+		t.Fatal("dup-ack site never fired; the test exercised nothing")
+	}
+	for i := 0; i < 60; i++ {
+		key := []byte(fmt.Sprintf("dup-%02d", i))
+		if v, found, err := c.Get(key); err != nil || !found || v[0] != byte(i) {
+			t.Fatalf("get %d: %v found=%v err=%v", i, v, found, err)
+		}
+	}
+}
+
+// TestClientRetriesSpuriousRetry: StatusRetry answers to routable
+// requests must be absorbed by the client's transparent resend, not
+// surfaced to the caller.
+func TestClientRetriesSpuriousRetry(t *testing.T) {
+	cfg := chaosConfig(t.TempDir(), chaos.Plan{Seed: 6, Sites: map[chaos.Site]chaos.SiteConfig{
+		chaos.SiteSpuriousRetry: {Every: 4},
+	}})
+	srv, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 10
+
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("retry-%02d", i))
+		if err := c.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d under spurious retries: %v", i, err)
+		}
+	}
+	if n := cfg.Chaos.Ledger().Counts[chaos.SiteSpuriousRetry]; n == 0 {
+		t.Fatal("spurious-retry site never fired")
+	}
+}
+
+// TestConnDropResend covers the campaign's reconnect-and-resend
+// discipline in miniature: a connection killed mid-pipeline-window
+// fails the in-flight calls, and because puts are idempotent the
+// client reconnects and resends until every write is acked — after
+// which every key must be durable and readable.
+func TestConnDropResend(t *testing.T) {
+	cfg := chaosConfig(t.TempDir(), chaos.Plan{Seed: 7, Sites: map[chaos.Site]chaos.SiteConfig{
+		chaos.SiteConnDrop: {Every: 25, Max: 2},
+	}})
+	srv, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	const n = 120
+	pending := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		pending[i] = true
+	}
+	dropped := false
+	for round := 0; round < 20 && len(pending) > 0; round++ {
+		c, err := DialPipelined(srv.Addr(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.MaxRetries = 10
+		calls := make(map[int]*Call, len(pending))
+		for i := range pending {
+			call, err := c.PutAsync([]byte(fmt.Sprintf("cd-%03d", i)), []byte{byte(i)})
+			if err != nil {
+				dropped = true
+				break
+			}
+			calls[i] = call
+		}
+		for i, call := range calls {
+			resp, err := call.Wait()
+			if err != nil {
+				dropped = true
+				continue
+			}
+			if resp.Status == StatusOK {
+				delete(pending, i)
+			}
+			call.Release()
+		}
+		c.Close()
+	}
+	if len(pending) > 0 {
+		t.Fatalf("%d writes never acked after resend rounds", len(pending))
+	}
+	if !dropped && cfg.Chaos.Ledger().Counts[chaos.SiteConnDrop] == 0 {
+		t.Fatal("conn-drop never fired; resend path unexercised")
+	}
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = 10
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("cd-%03d", i))
+		if v, found, err := c.Get(key); err != nil || !found || v[0] != byte(i) {
+			t.Fatalf("get %d after resend: %v found=%v err=%v", i, v, found, err)
+		}
+	}
+}
+
+// TestClientFailsOnUnknownSeq: the dup-ack tolerance must not mask a
+// genuinely desynchronized stream — a response for a seq that was
+// never issued still poisons the client.
+func TestClientFailsOnUnknownSeq(t *testing.T) {
+	var c Client
+	c.recent = make([]uint32, 4)
+	c.recent[0] = 9
+	c.recentN = 1
+	if !c.isRecentLocked(9) {
+		t.Fatal("completed seq not recognized as recent")
+	}
+	if c.isRecentLocked(10) {
+		t.Fatal("never-issued seq classified as a duplicate")
+	}
+}

@@ -43,6 +43,14 @@ type Client struct {
 	pending map[uint32]*Call
 	closed  error // transport/protocol failure; sticky
 
+	// recent is a ring of recently completed sequence numbers (see
+	// isRecentLocked). A response matching no pending call but a recent
+	// completion is a duplicated ack (a retransmit the transport failed
+	// to suppress) and is dropped; an unknown seq outside the ring still
+	// fails the client, because it means the stream is desynchronized.
+	recent  []uint32
+	recentN uint64 // completions ever recorded
+
 	tokens     chan struct{} // in-flight window semaphore
 	readerDone chan struct{} // closed when the read loop exits
 
@@ -110,11 +118,16 @@ func DialPipelined(addr string, window int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	ring := 2 * window
+	if ring < 16 {
+		ring = 16
+	}
 	c := &Client{
 		conn:       conn,
 		br:         bufio.NewReader(conn),
 		window:     window,
 		pending:    make(map[uint32]*Call, window),
+		recent:     make([]uint32, ring),
 		tokens:     make(chan struct{}, window),
 		readerDone: make(chan struct{}),
 		spanBase:   connCounter.Add(1) << 32,
@@ -218,6 +231,22 @@ func (c *Client) failAll(err error) {
 	}
 }
 
+// isRecentLocked reports whether seq completed recently — the test that
+// separates a duplicated ack (drop it) from a desynchronized stream
+// (fail the client). Callers hold c.mu.
+func (c *Client) isRecentLocked(seq uint32) bool {
+	n := uint64(len(c.recent))
+	if c.recentN < n {
+		n = c.recentN
+	}
+	for i := uint64(0); i < n; i++ {
+		if c.recent[i] == seq {
+			return true
+		}
+	}
+	return false
+}
+
 // readLoop matches responses to pending calls by sequence number,
 // transparently resending StatusRetry'd requests up to MaxRetries.
 func (c *Client) readLoop() {
@@ -238,8 +267,19 @@ func (c *Client) readLoop() {
 		c.mu.Lock()
 		call := c.pending[resp.Seq]
 		delete(c.pending, resp.Seq)
+		if call != nil && !(resp.Status == StatusRetry && call.attempts < c.MaxRetries) {
+			// This response completes the call (the retry path below
+			// re-registers it instead): remember the seq so a duplicated
+			// ack is recognized and dropped.
+			c.recent[c.recentN%uint64(len(c.recent))] = resp.Seq
+			c.recentN++
+		}
+		dup := call == nil && c.isRecentLocked(resp.Seq)
 		c.mu.Unlock()
 		if call == nil {
+			if dup {
+				continue // duplicated ack for a completed request
+			}
 			c.failAll(fmt.Errorf("server: response for unknown seq %d", resp.Seq))
 			return
 		}

@@ -46,6 +46,7 @@ func (s *Server) buildDump(reason string) *flight.Dump {
 		SlowCaptured: s.flight.SlowCaptured(),
 		InFlight:     s.flight.InFlight(),
 		Slow:         s.flight.Slow(),
+		Chaos:        s.cfg.Chaos.Ledger(),
 	}
 	if s.tracer != nil {
 		d.RingNames = s.TracerRingNames()

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/flight"
 	"pmemlog/internal/obs"
 	"pmemlog/internal/sim"
@@ -63,6 +64,13 @@ type Config struct {
 	// HTTPAddr, when non-empty, serves the /healthz readiness endpoint
 	// on a plain HTTP listener (e.g. "127.0.0.1:8080").
 	HTTPAddr string
+
+	// Chaos, when non-nil, arms deterministic network-fault injection
+	// (conn drops mid-window, delayed/duplicated acks, spurious retry
+	// answers) and stamps the injection ledger into every flight dump.
+	// Only chaos-aware construction (internal/chaos/campaign, cmd/pmchaos,
+	// tests) may set it — pmlint's chaosonly rule rejects everything else.
+	Chaos *chaos.Injector
 }
 
 // withDefaults fills zero fields.
@@ -170,6 +178,11 @@ type Server struct {
 	flight *flight.Table
 	httpLn net.Listener
 	dumpMu sync.Mutex
+
+	// chaosNet is the network-site fork of cfg.Chaos (nil when unarmed):
+	// its RNG stream is independent of any sim-side stream, and its
+	// count-based triggers stay schedule-deterministic across goroutines.
+	chaosNet *chaos.Injector
 }
 
 // shardConfig builds one shard's machine configuration.
@@ -233,6 +246,7 @@ func Start(cfg Config) (*Server, error) {
 		conns:      make(map[net.Conn]struct{}),
 		dead:       make(chan struct{}),
 		shardsDead: make(chan struct{}),
+		chaosNet:   cfg.Chaos.Fork("net"),
 	}
 	s.initObs()
 	scfg := shardConfig(cfg)
@@ -440,6 +454,17 @@ func (s *Server) connWriter(c net.Conn, out chan *connReq, tokens chan struct{},
 		s.flight.Finish(cr.span, cr.resp.Status, int64(s.nowNS()))
 		cr.span, cr.spanTag = nil, 0
 		if !wroteErr {
+			if s.chaosNet.Hit(chaos.SiteConnDrop, uint64(cr.code)) {
+				// Chaos: the connection dies mid-pipeline-window, before
+				// this response frame leaves. The Write below fails, the
+				// reader stops, and the client must reconnect and resend
+				// everything unacked — any durability shortcut here shows
+				// up as a lost or duplicated write in the audit.
+				c.Close()
+			}
+			if delay, ok := s.chaosNet.HitArg(chaos.SiteDelayAck, uint64(cr.code)); ok {
+				time.Sleep(time.Duration(delay))
+			}
 			buf := append(cr.enc[:0], 0, 0, 0, 0)
 			buf = EncodeResponse(buf, &cr.resp)
 			binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
@@ -447,6 +472,11 @@ func (s *Server) connWriter(c net.Conn, out chan *connReq, tokens chan struct{},
 			if _, err := c.Write(buf); err != nil {
 				wroteErr = true
 				close(failed)
+			} else if s.chaosNet.Hit(chaos.SiteDupAck, uint64(cr.code)) {
+				// Chaos: the ack frame goes out twice (a retransmit the
+				// transport failed to suppress); the client must drop the
+				// duplicate, not fail its pipeline.
+				c.Write(buf)
 			}
 		}
 		cr.resp = Response{}
@@ -484,6 +514,13 @@ func (s *Server) routeAsync(cr *connReq, out chan *connReq) bool {
 	}
 	if req.Code == OpMetrics {
 		return answer(s.metricsResponse())
+	}
+	if s.chaosNet.Hit(chaos.SiteSpuriousRetry, uint64(req.Code)) {
+		// Chaos: answer a perfectly routable request with StatusRetry,
+		// exercising the client's transparent resend path under no real
+		// backpressure.
+		s.noteRetry()
+		return answer(Response{Status: StatusRetry, RetryAfterMs: s.cfg.RetryAfterMs})
 	}
 
 	var key []byte

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"pmemlog/internal/cache"
+	"pmemlog/internal/chaos"
 	"pmemlog/internal/cpu"
 	"pmemlog/internal/dram"
 	"pmemlog/internal/energy"
@@ -58,6 +59,13 @@ type Config struct {
 	// TrackOracle maintains the committed-state oracle used by crash
 	// consistency tests (costs memory proportional to the touched words).
 	TrackOracle bool
+
+	// Chaos, when non-nil, arms deterministic fault injection across the
+	// machine (memory controller, NVRAM device, cache hierarchy). Only
+	// chaos-aware construction sites (internal/chaos/campaign, cmd/pmchaos,
+	// tests) may set it — pmlint's chaosonly rule rejects everything else,
+	// keeping production pmserver defaults fault-free.
+	Chaos *chaos.Injector
 
 	// TxnLatencySampleCap bounds the per-commit latency sample buffer:
 	// once full, new samples overwrite the oldest (a sliding window), so

@@ -156,6 +156,25 @@ func (s *System) wireTracer() {
 	}
 }
 
+// wireChaos pushes the config's fault injector (possibly nil) into every
+// hardware component with injection sites. Like wireTracer it runs at
+// construction and again after Reboot/Attach rebuild the volatile
+// components, so an armed machine stays armed across simulated crashes.
+func (s *System) wireChaos() {
+	s.ctl.SetChaos(s.cfg.Chaos)
+	s.hier.SetChaos(s.cfg.Chaos)
+	s.nv.SetChaos(s.cfg.Chaos)
+}
+
+// ChaosSeed reports the armed injector's seed and whether chaos is armed
+// (failure messages print it so any run reproduces from -seed alone).
+func (s *System) ChaosSeed() (int64, bool) {
+	if s.cfg.Chaos == nil {
+		return 0, false
+	}
+	return s.cfg.Chaos.Seed(), true
+}
+
 // swLogTrace forwards software-log events into the tracer, stamping
 // the appending thread's local clock (the software log, unlike the
 // engine, is driven directly from thread context).
@@ -273,6 +292,7 @@ func New(cfg Config) (*System, error) {
 		s.population = make(map[mem.Addr]mem.Word)
 		s.oracleByHandle = make(map[uint64]*txRecord)
 	}
+	s.wireChaos()
 	return s, nil
 }
 
@@ -460,14 +480,37 @@ func (s *System) rebuild() error {
 	if s.hier, err = cache.NewHierarchy(s.cfg.Caches, s.ctl); err != nil {
 		return err
 	}
-	// Reopen the log where it currently lives (log_grow may have moved a
-	// centralized log; distributed sub-logs are re-derived by the engine).
+	// Reopen the log where it DURABLY lives. The engine's volatile config
+	// is not evidence: a log_grow whose new-region metadata writes were
+	// still in flight at the crash moved the volatile base without ever
+	// becoming durable, and recovery correctly stayed on the old region.
+	// Chase the same forward chain recovery follows — from the original
+	// base through completed grows only — and resume whatever region it
+	// ends at.
 	logCfg := nvlog.Config{Base: s.LogBase(), SizeBytes: s.cfg.LogBytes}
 	numLogs := 1
 	if s.cfg.PerThreadLogs {
 		numLogs = s.cfg.Threads
 	} else if s.eng != nil {
+		base := s.eng.LogBases()[0]
+		meta, err := nvlog.ReadMeta(s.nv.Image(), base)
+		if err != nil {
+			return fmt.Errorf("sim: reboot: %w", err)
+		}
+		for hops := 0; meta.Forward != 0; hops++ {
+			if hops > 64 {
+				return errors.New("sim: reboot: log forward chain too long")
+			}
+			base = meta.Forward
+			if meta, err = nvlog.ReadMeta(s.nv.Image(), base); err != nil {
+				return fmt.Errorf("sim: reboot: %w", err)
+			}
+		}
 		logCfg = s.eng.Log().Config()
+		logCfg.Base = base
+		logCfg.SizeBytes = nvlog.MetaSize + meta.Capacity*meta.SlotSize()
+		logCfg.Style = meta.Style
+		logCfg.LineAligned = meta.LineAligned
 	} else if s.swLog != nil {
 		logCfg = s.swLog.Config()
 	}
@@ -517,6 +560,7 @@ func (s *System) rebuild() error {
 	s.crashed = false
 	s.crashAt = 0
 	s.wireTracer()
+	s.wireChaos()
 	return nil
 }
 
