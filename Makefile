@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint trace trace-test bench-baseline perf doctor chaos ci
+.PHONY: all build test race lint fmt vet pmlint pmlint-flow trace trace-test bench-baseline perf doctor chaos ci
 
 all: build test
 
@@ -27,8 +27,18 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# pmlint runs under a 60s budget: the CFG/dominance engine must stay
+# cheap enough for every local gate, so a fixpoint regression that blows
+# up analysis time fails the build instead of slowly rotting it.
 pmlint:
-	$(GO) run ./cmd/pmlint ./...
+	timeout 60 $(GO) run ./cmd/pmlint ./...
+
+# pmlint-flow is the CI smoke for the path-sensitive ordering rules
+# alone (txnpair, quiesceorder, logbeforedata, ackafterdurable,
+# deferredunlock): a fast re-check that the flow engine itself loads,
+# fixpoints, and proves the tree clean.
+pmlint-flow:
+	timeout 60 $(GO) run ./cmd/pmlint -only flow ./...
 
 # trace records one FWB microbenchmark run and writes a Chrome
 # trace_event timeline to trace.json (open in about:tracing or
@@ -72,4 +82,4 @@ chaos:
 	mkdir -p chaos-out
 	$(GO) run ./cmd/pmchaos -seeds 20 -dir chaos-out -o chaos-out/chaos-report.json
 
-ci: build lint test race trace-test perf doctor chaos
+ci: build lint pmlint-flow test race trace-test perf doctor chaos

@@ -6,7 +6,10 @@
 // It exits 0 when the tree is clean, 1 when any finding survives the
 // //pmlint:allow filter, and 2 on usage or load errors. With -github it
 // emits GitHub Actions ::error annotations alongside the plain report,
-// so CI failures land on the offending line in the diff view.
+// so CI failures land on the offending line in the diff view; -sarif
+// additionally writes a SARIF 2.1.0 log (always, clean runs included)
+// for code-scanning upload. -only takes rule names or the "flow" group
+// (the CFG/dominance ordering rules).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pmemlog/internal/lint"
@@ -27,8 +31,9 @@ func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("pmlint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
-		only   = fs.String("only", "", "comma-separated subset of rules to run (default: all)")
+		only   = fs.String("only", "", "comma-separated subset of rules to run; \"flow\" names the CFG-based group (default: all)")
 		github = fs.Bool("github", false, "also emit GitHub Actions ::error annotations")
+		sarif  = fs.String("sarif", "", "write a SARIF 2.1.0 log to `file` (written on clean runs too)")
 		list   = fs.Bool("list", false, "list the available rules and exit")
 		dir    = fs.String("C", ".", "change to `dir` before resolving package patterns")
 	)
@@ -64,14 +69,21 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
+	// One Module over every loaded package, so interprocedural effect
+	// summaries and call-graph credit cross package boundaries (main's
+	// call into a library's may-persist helper, and vice versa).
+	mod := lint.NewModule(pkgs)
+
 	active := lint.RuleSet(analyzers)
 	known := lint.RuleSet(all)
 	findings := 0
 	suppressed := 0
+	var allKept []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags := lint.RunAnalyzers(pkg, analyzers)
+		diags := mod.Run(pkg, analyzers)
 		kept, n := lint.ApplyAllows(pkg.Fset, pkg.Files, diags, active, known)
 		suppressed += n
+		allKept = append(allKept, kept...)
 		for _, d := range kept {
 			findings++
 			fmt.Fprintln(out, d.String())
@@ -79,6 +91,31 @@ func run(args []string, out, errw io.Writer) int {
 				fmt.Fprintf(out, "::error file=%s,line=%d,col=%d::%s [%s]\n",
 					d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 			}
+		}
+	}
+
+	if *sarif != "" {
+		// SARIF artifact locations are repo-relative URIs: strip the -C
+		// directory prefix so code-scanning matches files from the root.
+		if abs, err := filepath.Abs(*dir); err == nil {
+			for i := range allKept {
+				if rel, err := filepath.Rel(abs, allKept[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					allKept[i].Pos.Filename = filepath.ToSlash(rel)
+				}
+			}
+		}
+		f, err := os.Create(*sarif)
+		if err != nil {
+			fmt.Fprintf(errw, "pmlint: %v\n", err)
+			return 2
+		}
+		werr := lint.WriteSARIF(f, analyzers, allKept)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(errw, "pmlint: writing SARIF: %v\n", werr)
+			return 2
 		}
 	}
 
@@ -90,7 +127,9 @@ func run(args []string, out, errw io.Writer) int {
 	return 0
 }
 
-// selectAnalyzers resolves the -only flag against the suite.
+// selectAnalyzers resolves the -only flag against the suite. Besides
+// rule names it accepts the group name "flow" for the CFG/dominance
+// ordering rules, the CI smoke-test subset.
 func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error) {
 	if only == "" {
 		return all, nil
@@ -99,17 +138,30 @@ func selectAnalyzers(all []*lint.Analyzer, only string) ([]*lint.Analyzer, error
 	for _, a := range all {
 		byName[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var picked []*lint.Analyzer
+	pick := func(a *lint.Analyzer) {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			picked = append(picked, a)
+		}
+	}
 	for _, name := range strings.Split(only, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		if name == "flow" {
+			for _, a := range lint.FlowAnalyzers() {
+				pick(a)
+			}
 			continue
 		}
 		a, ok := byName[name]
 		if !ok {
 			return nil, fmt.Errorf("unknown rule %q (try -list)", name)
 		}
-		picked = append(picked, a)
+		pick(a)
 	}
 	if len(picked) == 0 {
 		return nil, fmt.Errorf("-only selected no rules")

@@ -48,6 +48,7 @@ func main() {
 	}
 
 	// Probe run: learn the uncrashed duration.
+	//pmlint:allow quiesceorder -- runOnce deliberately saves mid-crash images without draining; quiescing would destroy the crash evidence
 	total, err := runOnce(mode, *benchName, *threads, *txns, 0, "")
 	if err != nil {
 		fatal(err)
@@ -67,6 +68,7 @@ func main() {
 		if trial == 0 {
 			save = *saveImage
 		}
+		//pmlint:allow quiesceorder -- runOnce deliberately saves mid-crash images without draining; quiescing would destroy the crash evidence
 		if _, err := runOnce(mode, *benchName, *threads, *txns, crashAt, save); err != nil {
 			failures++
 			fmt.Printf("trial %2d: crash@%-10d  VIOLATION: %v\n", trial, crashAt, err)
@@ -175,7 +177,6 @@ func runOnce(mode pmemlog.Mode, benchName string, threads, txns int, crashAt uin
 		if err != nil {
 			return 0, err
 		}
-		//pmlint:allow quiesceorder -- deliberately saving a mid-crash image; quiescing would destroy the evidence
 		if err := sys.SaveNVRAM(f); err != nil {
 			f.Close()
 			return 0, err

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAckafterdurableFixture(t *testing.T) {
+	RunFixture(t, Ackafterdurable, "ackafterdurable")
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pmemlog/internal/lint/flow"
+)
+
+// Deferredunlock proves that every sync.Mutex/RWMutex acquisition is
+// released on every panic-free exit path of its scope. The persist
+// domain leans on small critical sections (flight-recorder rings,
+// metrics registries, the chaos injector's step hook) that are entered
+// from the shard loop's hot path: a lock leaked on an early-return arm
+// deadlocks the next batch, which stalls acks and looks exactly like a
+// wedged log. Release credit is a matching Unlock/RUnlock on the same
+// receiver expression — inline on every path, or registered with defer
+// before/at the acquisition. Violations report the leaking path.
+var Deferredunlock = &Analyzer{
+	Name: "deferredunlock",
+	Doc:  "every mutex Lock/RLock is released (inline on all exit paths, or by defer) in its scope",
+	Run:  runDeferredunlock,
+}
+
+func runDeferredunlock(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, fd := range funcScopes(file) {
+			for _, sc := range scopesOf(fd) {
+				checkUnlockScope(pass, sc)
+			}
+		}
+	}
+}
+
+// lockCall matches a sync.Mutex/RWMutex method call and renders its
+// receiver expression ("sh.mu") as the pairing key.
+func lockCall(info *types.Info, call *ast.CallExpr, names ...string) (recv string, ok bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	match := false
+	for _, n := range names {
+		if fn.Name() == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func checkUnlockScope(pass *Pass, sc scope) {
+	g := pass.Mod.Graph(sc.body())
+	type site struct {
+		call *ast.CallExpr
+		n    ast.Node
+		b    *flow.Block
+		i    int
+		recv string
+		kind string // "Lock" or "RLock"
+	}
+	var locks []site
+	var deferUnlocks []site
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				for _, call := range callsIn(n, true) {
+					if recv, ok := lockCall(pass.Info, call, "Unlock", "RUnlock"); ok {
+						fn := calleeOf(pass.Info, call)
+						deferUnlocks = append(deferUnlocks, site{call, n, b, i, recv, fn.Name()})
+					}
+				}
+				continue
+			}
+			for _, call := range callsIn(n, false) {
+				if recv, ok := lockCall(pass.Info, call, "Lock", "RLock"); ok {
+					fn := calleeOf(pass.Info, call)
+					locks = append(locks, site{call, n, b, i, recv, fn.Name()})
+				}
+			}
+		}
+	}
+	if len(locks) == 0 {
+		return
+	}
+	dom := flow.Dominators(g)
+	for _, lk := range locks {
+		unlockName := "Unlock"
+		if lk.kind == "RLock" {
+			unlockName = "RUnlock"
+		}
+		covered := false
+		for _, du := range deferUnlocks {
+			if du.recv != lk.recv || du.kind != unlockName {
+				continue
+			}
+			if (du.b == lk.b && du.i < lk.i) || (du.b != lk.b && dom.Dominates(du.b, lk.b)) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		releaseCredit := func(n ast.Node) bool {
+			// An inline unlock or a defer registered after the lock both
+			// release by scope exit.
+			_, isDefer := n.(*ast.DeferStmt)
+			for _, call := range callsIn(n, isDefer) {
+				if recv, ok := lockCall(pass.Info, call, unlockName); ok && recv == lk.recv {
+					return true
+				}
+			}
+			return false
+		}
+		chain, escapes := g.Escape(lk.n, releaseCredit)
+		if !escapes {
+			continue
+		}
+		pass.Reportf(lk.call.Pos(),
+			"%s: %s.%s has a path to return without %s.%s (%s); a leaked lock wedges the next entrant",
+			sc.name, lk.recv, lk.kind, lk.recv, unlockName, flow.PathString(pass.Fset, chain, g.Exit))
+	}
+}

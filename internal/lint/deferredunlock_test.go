@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestDeferredunlockFixture(t *testing.T) {
+	RunFixture(t, Deferredunlock, "deferredunlock")
+}

@@ -1,0 +1,461 @@
+// Package flow is pmlint's control-flow engine: an intraprocedural CFG
+// builder over go/ast, dominator and post-dominator trees, and path
+// searches that either prove an ordering fact on every path or return
+// the concrete path that violates it.
+//
+// The paper's contract is an ordering ("the undo+redo record is durable
+// before the data it describes; the ack follows the flush"), and the
+// failure mode that matters is path-shaped: a persist skipped on an
+// error branch, an ack issued before the save on one arm of a switch.
+// Lexical (source-order) checks cannot see those paths; a CFG can. The
+// analyzers in package lint build their log-before-data, ack-after-
+// durable, quiesce-before-persist and begin/commit-pairing proofs on
+// this package.
+//
+// The builder is syntax-only (no type information): it handles
+// if/for/range/switch/select, labeled break and continue, goto (into
+// and out of loops), defer, and panic/return termination. Function
+// literals are opaque expressions — a closure's body is its own graph,
+// never spliced into the enclosing function's.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements. Every node in Nodes
+// executes, in order, whenever control enters the block (panic aside:
+// a panicking call ends its block).
+type Block struct {
+	// Index is the block's creation order, Entry first.
+	Index int
+	// Nodes are the statements (and inline condition/tag expressions)
+	// the block executes.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+	// Panics marks a block whose edge to Exit models panic unwinding,
+	// not a normal return.
+	Panics bool
+	// kind is a short label for tests and debugging ("if.then", ...).
+	kind string
+}
+
+// Kind returns the block's debug label.
+func (b *Block) Kind() string { return b.kind }
+
+// Pos returns the position of the block's first node, or token.NoPos.
+func (b *Block) Pos() token.Pos {
+	if len(b.Nodes) == 0 {
+		return token.NoPos
+	}
+	return b.Nodes[0].Pos()
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	Entry *Block
+	// Exit is the single sink: normal returns and fall-off-the-end edges
+	// lead here, as do panic edges (marked on the panicking block).
+	Exit   *Block
+	Blocks []*Block
+
+	blockOf map[ast.Node]*Block
+	idxOf   map[ast.Node]int
+}
+
+// BlockOf returns the block holding statement-level node n and n's index
+// within it, or (nil, -1) if n was not registered by the builder.
+func (g *Graph) BlockOf(n ast.Node) (*Block, int) {
+	b, ok := g.blockOf[n]
+	if !ok {
+		return nil, -1
+	}
+	return b, g.idxOf[n]
+}
+
+// NumEdges counts the graph's edges (for tests).
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Succs)
+	}
+	return n
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		blockOf: make(map[ast.Node]*Block),
+		idxOf:   make(map[ast.Node]int),
+	}
+	b := &builder{g: g, labels: make(map[string]*labelInfo)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	b.stmt(body)
+	b.goTo(g.Exit)
+	// A goto to a label that was never declared parses but does not
+	// type-check; any pending edges were already wired when the label
+	// block was created on first reference.
+	return g
+}
+
+type labelInfo struct {
+	block *Block // the labeled statement's block (goto/continue target)
+}
+
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil after a terminator (return/panic/branch)
+	frames []frame
+	labels map[string]*labelInfo
+
+	// pendingLabel is the label wrapping the next loop/switch/select,
+	// consumed by that construct's frame.
+	pendingLabel string
+	// fallTo is the next case clause's block while building a switch
+	// clause body (the fallthrough target).
+	fallTo *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, starting a fresh (unreachable)
+// block if the previous one was terminated.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.g.blockOf[n] = b.cur
+	b.g.idxOf[n] = len(b.cur.Nodes)
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// goTo terminates the current block with an edge to target.
+func (b *builder) goTo(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startBlock makes blk current (creating the fall-through join point).
+func (b *builder) startBlock(blk *Block) { b.cur = blk }
+
+// takeLabel consumes the pending label for a loop/switch/select frame.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock returns (creating on demand) the block a label names, so a
+// forward goto and its eventual labeled statement meet at one block.
+func (b *builder) labelBlock(name string) *Block {
+	if li, ok := b.labels[name]; ok {
+		return li.block
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = &labelInfo{block: blk}
+	return blk
+}
+
+// findFrame resolves a break/continue target.
+func (b *builder) findFrame(label string, needContinue bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether s is a call to the predeclared panic.
+// Syntax-only: a shadowed panic identifier would be misread, which the
+// analyzers tolerate (it only shortens proofs, never fabricates one).
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	if _, isLoopish := s.(*ast.LabeledStmt); !isLoopish {
+		// A label applies only to the statement it prefixes.
+		switch s.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		default:
+			b.pendingLabel = ""
+		}
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.goTo(lb)
+		b.startBlock(lb)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		b.stmtAsNode(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		post := b.newBlock("if.done")
+		b.edge(cond, then)
+		var els *Block
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+			b.edge(cond, els)
+		} else {
+			b.edge(cond, post)
+		}
+		b.startBlock(then)
+		b.stmt(s.Body)
+		b.goTo(post)
+		if s.Else != nil {
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.goTo(post)
+		}
+		b.startBlock(post)
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmtAsNode(s.Init)
+		head := b.newBlock("for.head")
+		b.goTo(head)
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		headEnd := b.cur // cond lives here (== head unless add resurrected)
+		body := b.newBlock("for.body")
+		post := b.newBlock("for.done")
+		b.edge(headEnd, body)
+		if s.Cond != nil {
+			b.edge(headEnd, post)
+		}
+		latch := head
+		if s.Post != nil {
+			latch = b.newBlock("for.latch")
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: post, continueTo: latch})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.goTo(latch)
+		b.frames = b.frames[:len(b.frames)-1]
+		if s.Post != nil {
+			b.startBlock(latch)
+			b.stmtAsNode(s.Post)
+			b.goTo(head)
+		}
+		b.startBlock(post)
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.goTo(head)
+		b.startBlock(head)
+		b.add(s) // the iteration operation itself
+		body := b.newBlock("range.body")
+		post := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, post)
+		b.frames = append(b.frames, frame{label: label, breakTo: post, continueTo: head})
+		b.startBlock(body)
+		b.stmt(s.Body)
+		b.goTo(head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(post)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmtAsNode(s.Init)
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitch(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmtAsNode(s.Init)
+		b.add(s.Assign)
+		b.buildSwitch(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		if sel == nil {
+			sel = b.newBlock("unreachable")
+			b.cur = sel
+		}
+		post := b.newBlock("select.done")
+		b.frames = append(b.frames, frame{label: label, breakTo: post})
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(sel, blk)
+			b.startBlock(blk)
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cc.Comm)
+			}
+			for _, t := range cc.Body {
+				b.stmt(t)
+			}
+			b.goTo(post)
+		}
+		_ = hasDefault // a default clause is just another case edge
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = nil
+		b.startBlock(post)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.goTo(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, false); f != nil {
+				b.goTo(f.breakTo)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.findFrame(label, true); f != nil {
+				b.goTo(f.continueTo)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.goTo(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				b.goTo(b.fallTo)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s) {
+			b.cur.Panics = true
+			b.goTo(b.g.Exit)
+		}
+
+	default:
+		// DeclStmt, AssignStmt, SendStmt, IncDecStmt, DeferStmt, GoStmt,
+		// EmptyStmt: straight-line nodes. Defer registration is a node so
+		// analyzers can reason about where it was reached.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// stmtAsNode records an init/post statement as a plain node of the
+// current block (these simple statements cannot branch).
+func (b *builder) stmtAsNode(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	b.add(s)
+}
+
+// buildSwitch shares the clause/fallthrough/join wiring of expression
+// and type switches. The tag (or assign) has already been added to the
+// current block.
+func (b *builder) buildSwitch(label string, body *ast.BlockStmt, _ *Block) {
+	sw := b.cur
+	if sw == nil {
+		sw = b.newBlock("unreachable")
+		b.cur = sw
+	}
+	post := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: post})
+
+	clauses := body.List
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock("switch.case")
+		if cc.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		cc := cc.(*ast.CaseClause)
+		b.edge(sw, blocks[i])
+		b.startBlock(blocks[i])
+		savedFall := b.fallTo
+		if i+1 < len(clauses) {
+			b.fallTo = blocks[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		for _, t := range cc.Body {
+			b.stmt(t)
+		}
+		b.fallTo = savedFall
+		b.goTo(post)
+	}
+	if !hasDefault {
+		b.edge(sw, post)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = nil
+	b.startBlock(post)
+}

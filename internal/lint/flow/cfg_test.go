@@ -1,0 +1,425 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// parseFunc parses src (a file body containing one function named f)
+// and returns the function's CFG plus the fileset.
+func parseFunc(t *testing.T, src string) (*Graph, *token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body), fset, fd
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil, nil, nil
+}
+
+// markNode finds the statement node `mark(N)` in the graph.
+func markNode(t *testing.T, g *Graph, n int) ast.Node {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			es, ok := node.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "mark" {
+				continue
+			}
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				if v, _ := strconv.Atoi(lit.Value); v == n {
+					return node
+				}
+			}
+		}
+	}
+	t.Fatalf("mark(%d) not found", n)
+	return nil
+}
+
+// reachableBlocks counts blocks reachable from entry.
+func reachableBlocks(g *Graph) int {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// TestCFGShapes is the edge-case table: block/edge counts and reachability
+// for the constructs the builder must model faithfully.
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		blocks    int // total blocks created
+		edges     int
+		reachable int // blocks reachable from entry
+	}{
+		{
+			name:      "straight line",
+			src:       "func f() { mark(1); mark(2) }",
+			blocks:    2, // entry, exit
+			edges:     1,
+			reachable: 2,
+		},
+		{
+			name:      "if else join",
+			src:       "func f(x bool) { if x { mark(1) } else { mark(2) }; mark(3) }",
+			blocks:    5, // entry, exit, then, else, join
+			edges:     5,
+			reachable: 5,
+		},
+		{
+			name:      "if without else",
+			src:       "func f(x bool) { if x { mark(1) }; mark(2) }",
+			blocks:    4,
+			edges:     4,
+			reachable: 4,
+		},
+		{
+			name:      "for loop",
+			src:       "func f() { for i := 0; i < 3; i++ { mark(1) }; mark(2) }",
+			blocks:    6, // entry, exit, head, body, done, latch
+			edges:     6, // entry→head, head→body, head→done, body→latch, latch→head, done→exit
+			reachable: 6,
+		},
+		{
+			name:      "infinite for with break",
+			src:       "func f(x bool) { for { if x { break }; mark(1) }; mark(2) }",
+			blocks:    7, // entry, exit, head, body, done, if.then, if.done (no latch: no post stmt)
+			edges:     7,
+			reachable: 7,
+		},
+		{
+			name:      "range loop",
+			src:       "func f(xs []int) { for range xs { mark(1) }; mark(2) }",
+			blocks:    5, // entry, exit, head, body, done
+			edges:     5,
+			reachable: 5,
+		},
+		{
+			name: "goto out of loop",
+			src: `func f() {
+				for i := 0; i < 3; i++ {
+					goto out
+				}
+				mark(1)
+			out:
+				mark(2)
+			}`,
+			blocks:    7, // entry, exit, head, body, done, label.out, latch(unreached)
+			edges:     7, // entry→head, head→body, head→done, body→out, done→out, latch→head, out→exit
+			reachable: 6, // latch is unreachable (body always jumps out)
+		},
+		{
+			name: "goto into loop",
+			src: `func f(x bool) {
+				if x {
+					goto in
+				}
+				for {
+				in:
+					mark(1)
+				}
+			}`,
+			// entry/cond, exit, if.then, if.done, for.head, for.body,
+			// label.in, for.done(unreachable — loop never exits)
+			blocks:    8,
+			edges:     8,
+			reachable: 6, // exit and for.done are unreachable: the loop is infinite
+		},
+		{
+			name: "labeled break in select",
+			src: `func f(c chan int) {
+			loop:
+				for {
+					select {
+					case <-c:
+						break loop
+					case c <- 1:
+						mark(1)
+					}
+				}
+				mark(2)
+			}`,
+			// entry, exit, label.loop, for.head, for.body, for.done,
+			// select.done, 2 select cases
+			blocks:    9,
+			edges:     9,
+			reachable: 9,
+		},
+		{
+			name: "defer with recover",
+			src: `func f() {
+				defer func() {
+					if r := recover(); r != nil {
+						mark(1)
+					}
+				}()
+				mark(2)
+				panic("boom")
+			}`,
+			blocks:    2, // entry (defer + mark + panic), exit — the closure body is NOT spliced in
+			edges:     1,
+			reachable: 2,
+		},
+		{
+			name: "unreachable after panic",
+			src: `func f() {
+				mark(1)
+				panic("boom")
+				mark(2)
+			}`,
+			blocks:    3, // entry, exit, unreachable tail
+			edges:     2, // entry→exit (panic), tail→exit (fall-off)
+			reachable: 2,
+		},
+		{
+			name: "switch with fallthrough and default",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					mark(1)
+					fallthrough
+				case 2:
+					mark(2)
+				default:
+					mark(3)
+				}
+				mark(4)
+			}`,
+			blocks:    6, // entry(tag), exit, 3 cases, done
+			edges:     7, // tag→c1,c2,def; c1→c2 (fallthrough); c1? no; c2→done; def→done; done→exit
+			reachable: 6,
+		},
+		{
+			name: "type switch",
+			src: `func f(x any) {
+				switch x.(type) {
+				case int:
+					mark(1)
+				case string:
+					mark(2)
+				}
+				mark(3)
+			}`,
+			blocks:    5, // entry(assign), exit, 2 cases, done
+			edges:     6, // tag→c1,c2,done(no default); c1→done; c2→done; done→exit
+			reachable: 5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, _, _ := parseFunc(t, tc.src)
+			if got := len(g.Blocks); got != tc.blocks {
+				t.Errorf("blocks = %d, want %d\n%s", got, tc.blocks, dumpGraph(g))
+			}
+			if got := g.NumEdges(); got != tc.edges {
+				t.Errorf("edges = %d, want %d\n%s", got, tc.edges, dumpGraph(g))
+			}
+			if got := reachableBlocks(g); got != tc.reachable {
+				t.Errorf("reachable = %d, want %d\n%s", got, tc.reachable, dumpGraph(g))
+			}
+		})
+	}
+}
+
+func dumpGraph(g *Graph) string {
+	out := ""
+	for _, b := range g.Blocks {
+		out += b.kind
+		if b == g.Entry {
+			out += "(entry)"
+		}
+		if b == g.Exit {
+			out += "(exit)"
+		}
+		out += " ->"
+		for _, s := range b.Succs {
+			out += " " + s.kind + "#" + strconv.Itoa(s.Index)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestDominance pins dominance and post-dominance facts on branchy shapes.
+func TestDominance(t *testing.T) {
+	g, _, _ := parseFunc(t, `func f(x bool) {
+		mark(0)
+		if x {
+			mark(1)
+		} else {
+			mark(2)
+		}
+		mark(3)
+	}`)
+	dom := Dominators(g)
+	pdom := PostDominators(g)
+
+	b0, _ := g.BlockOf(markNode(t, g, 0))
+	b1, _ := g.BlockOf(markNode(t, g, 1))
+	b2, _ := g.BlockOf(markNode(t, g, 2))
+	b3, _ := g.BlockOf(markNode(t, g, 3))
+
+	for _, b := range []*Block{b1, b2, b3} {
+		if !dom.Dominates(b0, b) {
+			t.Errorf("entry block should dominate block %d", b.Index)
+		}
+	}
+	if dom.Dominates(b1, b3) || dom.Dominates(b2, b3) {
+		t.Error("neither branch arm may dominate the join")
+	}
+	if dom.Idom(b3) != b0 {
+		t.Errorf("idom(join) = %v, want the condition block", dom.Idom(b3))
+	}
+	if !pdom.Dominates(b3, b1) || !pdom.Dominates(b3, b2) || !pdom.Dominates(b3, b0) {
+		t.Error("join must post-dominate both arms and the condition")
+	}
+	if pdom.Dominates(b1, b0) {
+		t.Error("a branch arm must not post-dominate the condition")
+	}
+}
+
+// TestDominanceGotoIntoLoop: a goto that enters a loop body gives the
+// body a second entry, so the loop head no longer dominates it.
+func TestDominanceGotoIntoLoop(t *testing.T) {
+	g, _, _ := parseFunc(t, `func f(x bool) {
+		if x {
+			goto in
+		}
+		for {
+			mark(1)
+		in:
+			mark(2)
+		}
+	}`)
+	dom := Dominators(g)
+	b1, _ := g.BlockOf(markNode(t, g, 1))
+	b2, _ := g.BlockOf(markNode(t, g, 2))
+	if dom.Dominates(b1, b2) {
+		t.Error("loop-body prefix must not dominate the goto target inside the loop")
+	}
+	if !dom.Dominates(g.Entry, b2) {
+		t.Error("entry must dominate the goto target")
+	}
+}
+
+// TestUnreachableDominance: blocks unreachable from entry are outside
+// the dominator tree entirely.
+func TestUnreachableDominance(t *testing.T) {
+	g, _, _ := parseFunc(t, `func f() {
+		mark(1)
+		panic("boom")
+		mark(2)
+	}`)
+	dom := Dominators(g)
+	b1, _ := g.BlockOf(markNode(t, g, 1))
+	b2, _ := g.BlockOf(markNode(t, g, 2))
+	if b1.Panics != true {
+		t.Error("panicking block must be marked Panics")
+	}
+	if dom.Dominates(b1, b2) || dom.Dominates(b2, b1) || dom.Idom(b2) != nil {
+		t.Error("unreachable block must be outside the dominator tree")
+	}
+}
+
+// TestEscape exercises the all-paths proof and the concrete-path reporting.
+func TestEscape(t *testing.T) {
+	isMark := func(n int) func(ast.Node) bool {
+		return func(node ast.Node) bool {
+			es, ok := node.(*ast.ExprStmt)
+			if !ok {
+				return false
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "mark" {
+				return false
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			return ok && lit.Value == strconv.Itoa(n)
+		}
+	}
+
+	// mark(2) covers only one arm: an escape exists.
+	g, fset, _ := parseFunc(t, `func f(x bool) {
+		mark(1)
+		if x {
+			mark(2)
+		}
+	}`)
+	chain, ok := g.Escape(markNode(t, g, 1), isMark(2))
+	if !ok {
+		t.Fatal("expected an escape around the one-armed mark(2)")
+	}
+	if s := PathString(fset, chain, g.Exit); s == "" {
+		t.Error("escape path should render")
+	}
+
+	// mark(2) on both arms: no escape.
+	g2, _, _ := parseFunc(t, `func f(x bool) {
+		mark(1)
+		if x {
+			mark(2)
+		} else {
+			mark(2)
+		}
+	}`)
+	if _, ok := g2.Escape(markNode(t, g2, 1), isMark(2)); ok {
+		t.Error("both arms covered: no escape should exist")
+	}
+
+	// Exit through panic is not an escape.
+	g3, _, _ := parseFunc(t, `func f(x bool) {
+		mark(1)
+		if x {
+			panic("boom")
+		}
+		mark(2)
+	}`)
+	if _, ok := g3.Escape(markNode(t, g3, 1), isMark(2)); ok {
+		t.Error("panic unwind must not count as a normal exit")
+	}
+
+	// Reach: every route to mark(3) passes mark(2).
+	g4, _, _ := parseFunc(t, `func f(x bool) {
+		mark(1)
+		mark(2)
+		mark(3)
+	}`)
+	if _, ok := g4.Reach(markNode(t, g4, 3), isMark(2)); ok {
+		t.Error("mark(2) blocks the only route to mark(3)")
+	}
+	if _, ok := g4.Reach(markNode(t, g4, 2), isMark(3)); !ok {
+		t.Error("mark(3) is after the target; the route must be clear")
+	}
+}

@@ -1,0 +1,131 @@
+package flow
+
+// Dominator and post-dominator trees via the Cooper–Harvey–Kennedy
+// iterative algorithm ("A Simple, Fast Dominance Algorithm"): reverse
+// postorder over the (possibly reversed) graph, then an intersection
+// fixpoint on immediate dominators. The graphs here are function bodies
+// — tens of blocks — so the simple algorithm is the right one.
+
+// DomTree answers dominance queries for one graph from one root.
+type DomTree struct {
+	root *Block
+	idom map[*Block]*Block
+	po   map[*Block]int // postorder number from root
+}
+
+// Dominators builds the dominator tree rooted at the graph entry.
+// Blocks unreachable from the entry are absent from the tree:
+// Idom returns nil and Dominates returns false for them.
+func Dominators(g *Graph) *DomTree {
+	return build(g.Entry, func(b *Block) []*Block { return b.Succs }, func(b *Block) []*Block { return b.Preds })
+}
+
+// PostDominators builds the post-dominator tree rooted at the graph
+// exit (the reversed graph's entry). A block that cannot reach the exit
+// (an infinite loop) is absent from the tree.
+func PostDominators(g *Graph) *DomTree {
+	return build(g.Exit, func(b *Block) []*Block { return b.Preds }, func(b *Block) []*Block { return b.Succs })
+}
+
+func build(root *Block, succs, preds func(*Block) []*Block) *DomTree {
+	t := &DomTree{root: root, idom: make(map[*Block]*Block), po: make(map[*Block]int)}
+
+	// Iterative postorder DFS from root.
+	type item struct {
+		b *Block
+		i int
+	}
+	seen := map[*Block]bool{root: true}
+	var order []*Block
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		ss := succs(top.b)
+		if top.i < len(ss) {
+			s := ss[top.i]
+			top.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, item{s, 0})
+			}
+			continue
+		}
+		order = append(order, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i, b := range order {
+		t.po[b] = i
+	}
+
+	// Reverse postorder, skipping the root.
+	rpo := make([]*Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i] != root {
+			rpo = append(rpo, order[i])
+		}
+	}
+
+	t.idom[root] = root
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var newIdom *Block
+			for _, p := range preds(b) {
+				if _, ok := t.idom[p]; !ok {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.po[a] < t.po[b] {
+			a = t.idom[a]
+		}
+		for t.po[b] < t.po[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator, nil for the root and for blocks
+// outside the tree (unreachable from the root).
+func (t *DomTree) Idom(b *Block) *Block {
+	if b == t.root {
+		return nil
+	}
+	return t.idom[b]
+}
+
+// Dominates reports whether a dominates b (reflexively). Blocks outside
+// the tree dominate nothing and are dominated by nothing.
+func (t *DomTree) Dominates(a, b *Block) bool {
+	if _, ok := t.idom[a]; !ok {
+		return false
+	}
+	if _, ok := t.idom[b]; !ok {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == t.root {
+			return false
+		}
+		b = t.idom[b]
+	}
+}

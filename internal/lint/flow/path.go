@@ -1,0 +1,175 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Path searches: either prove that every path is blocked by a node
+// satisfying `stop`, or hand back one concrete unblocked path so the
+// analyzer can print the exact branch sequence that breaks the
+// invariant.
+
+// Escape finds a path from just after node `after` to the graph's
+// normal exit on which no node satisfies stop. Paths that leave through
+// a panic (an unwind, not a return) do not count as escapes. It returns
+// the block chain from after's block to the exit and true, or nil and
+// false when every normal exit is blocked — the "proved on all paths"
+// case.
+func (g *Graph) Escape(after ast.Node, stop func(ast.Node) bool) ([]*Block, bool) {
+	b, i := g.BlockOf(after)
+	if b == nil {
+		return nil, false
+	}
+	return g.search(b, i+1, stop)
+}
+
+// EscapeFromEntry is Escape starting at the function entry: it finds a
+// path from entry to the normal exit avoiding stop, proving (when it
+// fails) that stop-nodes cover every path through the function.
+func (g *Graph) EscapeFromEntry(stop func(ast.Node) bool) ([]*Block, bool) {
+	return g.search(g.Entry, 0, stop)
+}
+
+// search runs a DFS from (start, firstIdx) to the exit. A block is
+// traversable when none of its scanned nodes satisfy stop; a block that
+// panics does not yield a normal exit.
+func (g *Graph) search(start *Block, firstIdx int, stop func(ast.Node) bool) ([]*Block, bool) {
+	blockedFrom := func(b *Block, from int) bool {
+		for _, n := range b.Nodes[min(from, len(b.Nodes)):] {
+			if stop(n) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if blockedFrom(start, firstIdx) {
+		return nil, false
+	}
+	parent := map[*Block]*Block{start: nil}
+	stack := []*Block{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				if b.Panics {
+					continue // unwind, not a return
+				}
+				return g.chain(parent, b, g.Exit), true
+			}
+			if _, ok := parent[s]; ok {
+				continue
+			}
+			if blockedFrom(s, 0) {
+				continue
+			}
+			parent[s] = b
+			stack = append(stack, s)
+		}
+	}
+	return nil, false
+}
+
+// Reach finds a path from the entry to node `target` on which no node
+// strictly before target satisfies stop. It returns the block chain and
+// true, or nil and false when every route to target is blocked (target
+// is "protected" by stop on all paths).
+func (g *Graph) Reach(target ast.Node, stop func(ast.Node) bool) ([]*Block, bool) {
+	tb, ti := g.BlockOf(target)
+	if tb == nil {
+		return nil, false
+	}
+	blockedRange := func(b *Block, upto int) bool {
+		for _, n := range b.Nodes[:min(upto, len(b.Nodes))] {
+			if stop(n) {
+				return true
+			}
+		}
+		return false
+	}
+	if g.Entry == tb {
+		if blockedRange(tb, ti) {
+			return nil, false
+		}
+		return []*Block{tb}, true
+	}
+	if blockedRange(g.Entry, len(g.Entry.Nodes)) {
+		return nil, false
+	}
+	parent := map[*Block]*Block{g.Entry: nil}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if s == tb {
+				if !blockedRange(tb, ti) {
+					return append(g.chain(parent, b, nil), tb), true
+				}
+				continue
+			}
+			if _, ok := parent[s]; ok {
+				continue
+			}
+			if blockedRange(s, len(s.Nodes)) {
+				continue
+			}
+			parent[s] = b
+			stack = append(stack, s)
+		}
+	}
+	return nil, false
+}
+
+// chain reconstructs the path ending at last (plus final, if non-nil).
+func (g *Graph) chain(parent map[*Block]*Block, last, final *Block) []*Block {
+	var rev []*Block
+	for b := last; b != nil; b = parent[b] {
+		rev = append(rev, b)
+	}
+	out := make([]*Block, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	if final != nil {
+		out = append(out, final)
+	}
+	return out
+}
+
+// PathString renders a block chain as a compact file:line arrow chain
+// for findings: "L12 → L19 → L24 → exit". Blocks without positions are
+// skipped, consecutive duplicates are merged, and long chains elide the
+// middle. All positions are in file (shown once, by the caller's
+// finding position), so only line numbers are printed.
+func PathString(fset *token.FileSet, chain []*Block, exit *Block) string {
+	var lines []string
+	lastLine := -1
+	for _, b := range chain {
+		if b == exit {
+			lines = append(lines, "exit")
+			continue
+		}
+		pos := b.Pos()
+		if !pos.IsValid() {
+			continue
+		}
+		l := fset.Position(pos).Line
+		if l == lastLine {
+			continue
+		}
+		lastLine = l
+		lines = append(lines, fmt.Sprintf("L%d", l))
+	}
+	const maxSteps = 8
+	if len(lines) > maxSteps {
+		head := lines[:maxSteps-3]
+		tail := lines[len(lines)-2:]
+		lines = append(append(head, "…"), tail...)
+	}
+	return strings.Join(lines, " → ")
+}

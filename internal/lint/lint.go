@@ -22,6 +22,16 @@
 //	chaosonly       fault-injection arming (chaos.New, SetChaos,
 //	                Config.Chaos writes) confined to the chaos plane,
 //	                cmd/pmchaos, and sim construction
+//	logbeforedata   every persistent store happens inside an open
+//	                transaction on all CFG paths, through helpers
+//	ackafterdurable client acks in transaction-running scopes are
+//	                dominated by the image persist that makes them true
+//	deferredunlock  every mutex acquisition is released on all exit paths
+//
+// txnpair, quiesceorder, and the three analyzers above are built on
+// internal/lint/flow (CFGs, dominator trees, path searches) plus the
+// Module's interprocedural effect summaries, so they prove orderings on
+// every panic-free path and report the concrete path that breaks one.
 //
 // Findings can be suppressed one-at-a-time with a `//pmlint:allow <rule>`
 // directive on the offending line or the line above (see allow.go); an
@@ -51,7 +61,16 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in report order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath, Noallochotpath, Chaosonly}
+	return []*Analyzer{
+		Txnpair, Nobackdoor, Quiesceorder, Lockdiscipline, Obshotpath,
+		Noallochotpath, Chaosonly, Logbeforedata, Ackafterdurable, Deferredunlock,
+	}
+}
+
+// FlowAnalyzers returns the CFG/dominance-based subset (the `-only flow`
+// group): the path-sensitive ordering rules built on internal/lint/flow.
+func FlowAnalyzers() []*Analyzer {
+	return []*Analyzer{Txnpair, Quiesceorder, Logbeforedata, Ackafterdurable, Deferredunlock}
 }
 
 // Pass carries one analyzer's view of one package.
@@ -61,6 +80,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Mod is the whole-module view: CFGs, call graph, and effect
+	// summaries shared by the flow-based analyzers.
+	Mod *Module
 
 	diags *[]Diagnostic
 }
@@ -86,8 +108,16 @@ func (d Diagnostic) String() string {
 }
 
 // RunAnalyzers applies each analyzer to pkg and returns the raw findings
-// (before //pmlint:allow filtering), sorted by position.
+// (before //pmlint:allow filtering), sorted by position. The module view
+// covers pkg alone; the driver builds one Module over every loaded
+// package instead so interprocedural credit crosses package boundaries.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return NewModule([]*Package{pkg}).Run(pkg, analyzers)
+}
+
+// Run applies each analyzer to one of the module's packages and returns
+// the raw findings (before //pmlint:allow filtering), sorted by position.
+func (m *Module) Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -96,6 +126,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Mod:      m,
 			diags:    &diags,
 		}
 		a.Run(pass)

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLogbeforedataFixture(t *testing.T) {
+	RunFixture(t, Logbeforedata, "logbeforedata")
+}

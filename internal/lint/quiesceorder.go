@@ -3,6 +3,9 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+
+	"pmemlog/internal/lint/flow"
 )
 
 // Quiesceorder mirrors the log-buffer-drain-before-snapshot rule: commit
@@ -10,13 +13,15 @@ import (
 // hardware, volatile here) log write buffer, so a process that persists
 // the DIMM image without first draining the controller's buffers can
 // write an image in which an acknowledged transaction's commit record is
-// missing — recovery would roll the acked write back. Any call that
-// persists an image must therefore be preceded by System.Quiesce in the
-// same function. Crash tooling that deliberately snapshots a powered-off
-// machine annotates the save with //pmlint:allow quiesceorder.
+// missing — recovery would roll the acked write back. Every path from a
+// root function's entry to an image-persisting call must therefore pass
+// a System.Quiesce — directly, or inside a helper that is guaranteed to
+// drain (shard.save). Crash tooling that deliberately snapshots a
+// powered-off machine annotates the save with //pmlint:allow
+// quiesceorder.
 var Quiesceorder = &Analyzer{
 	Name: "quiesceorder",
-	Doc:  "persisting a DIMM image (SaveNVRAM, Physical.WriteFile/WriteTo) requires a preceding System.Quiesce in the same function",
+	Doc:  "persisting a DIMM image (SaveNVRAM, Physical.WriteFile/WriteTo) requires a System.Quiesce on every path to it, helpers included",
 	Run:  runQuiesceorder,
 }
 
@@ -36,59 +41,136 @@ var imageSinks = []imageSink{
 }
 
 func runQuiesceorder(pass *Pass) {
-	if quiesceExempt[pass.Pkg.Path()] {
-		return
-	}
-	for _, file := range pass.Files {
-		for _, fd := range funcScopes(file) {
-			checkQuiesceOrder(pass, fd)
+	for _, f := range pass.Mod.quiesceFindings() {
+		if f.pkg.Types == pass.Pkg {
+			pass.Reportf(f.pos, "%s", f.msg)
 		}
 	}
 }
 
-// checkQuiesceOrder requires, for every image-persisting call, a
-// System.Quiesce call lexically earlier in the same function body. This
-// is a source-order approximation of dominance; it accepts a Quiesce in a
-// branch the save might not follow, but catches the real failure mode —
-// a save path with no drain anywhere before it.
-func checkQuiesceOrder(pass *Pass, fd *ast.FuncDecl) {
-	var quiesces []token.Pos
-	type sink struct {
-		pos  token.Pos
-		recv string
-		name string
+// moduleFinding is one finding from a module-wide analysis, replayed
+// into the per-package pass that owns its file.
+type moduleFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// qSite is one un-drained image persist reachable in a function.
+type qSite struct {
+	node ast.Node      // CFG node holding the sink
+	call *ast.CallExpr // the sink call itself
+	desc string        // what persists: "(System).SaveNVRAM" or "call to shard.save"
+	path string        // the quiesce-free path from the function entry
+	sc   scope         // scope the sink was found in
+}
+
+// quiesceFindings runs the module-wide dominance analysis once.
+//
+// A function is "exposed" when some path from its entry reaches an
+// image-persisting call — its own, or one inside a callee that is itself
+// exposed — without passing a guaranteed drain (a direct System.Quiesce
+// or a call to a Must-quiesce helper). Exposure propagates up the call
+// graph to a fixpoint; findings are reported only at root functions
+// (no module callers), where "some caller drains first" can no longer be
+// true — everything below is a library whose precondition its callers
+// discharge.
+func (m *Module) quiesceFindings() []moduleFinding {
+	if m.qDone {
+		return m.qFindings
 	}
-	var sinks []sink
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := calleeOf(pass.Info, call)
-		if isFunc(fn, simPkg, "System", "Quiesce") {
-			quiesces = append(quiesces, call.Pos())
-			return true
-		}
-		for _, s := range imageSinks {
-			if isFunc(fn, s.pkg, s.recv, s.name) {
-				sinks = append(sinks, sink{pos: call.Pos(), recv: s.recv, name: s.name})
-				break
+	m.qDone = true
+
+	exposed := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range m.order {
+			if quiesceExempt[fi.pkg.Path] || exposed[fi.obj] {
+				continue
+			}
+			if len(m.quiesceSites(fi, exposed)) > 0 {
+				exposed[fi.obj] = true
+				changed = true
 			}
 		}
-		return true
-	})
-	for _, s := range sinks {
-		drained := false
-		for _, q := range quiesces {
-			if q < s.pos {
-				drained = true
-				break
-			}
+	}
+	for _, fi := range m.order {
+		if quiesceExempt[fi.pkg.Path] || !exposed[fi.obj] || len(m.callers[fi.obj]) > 0 {
+			continue
 		}
-		if !drained {
-			pass.Reportf(s.pos,
-				"%s persists a DIMM image via (%s).%s without a preceding System.Quiesce; un-drained log-buffer records (acked commits) would be missing from the image",
-				funcName(fd), s.recv, s.name)
+		for _, s := range m.quiesceSites(fi, exposed) {
+			m.qFindings = append(m.qFindings, moduleFinding{
+				pkg: fi.pkg,
+				pos: s.call.Pos(),
+				msg: s.sc.name + " persists a DIMM image via " + s.desc +
+					" with no System.Quiesce on the path " + s.path +
+					"; un-drained log-buffer records (acked commits) would be missing from the image",
+			})
 		}
 	}
+	return m.qFindings
+}
+
+// quiesceSites finds fi's reachable-without-drain persist sites.
+func (m *Module) quiesceSites(fi *fnInfo, exposed map[*types.Func]bool) []qSite {
+	info := fi.pkg.Info
+	credit := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // a deferred drain runs at return, after the sink
+		}
+		for _, call := range callsIn(n, false) {
+			if m.CallMust(info, call)&effQuiesce != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	var sites []qSite
+	for _, sc := range scopesOf(fi.decl) {
+		g := m.Graph(sc.body())
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				for _, call := range callsIn(n, false) {
+					fn := calleeOf(info, call)
+					var desc string
+					switch {
+					case primEffect(fn) == effPersistImage:
+						desc = "(" + recvName(fn) + ")." + fn.Name()
+					case fn != nil && exposed[fn] && m.fns[fn] != nil:
+						desc = "call to " + fn.Name() + " (which persists an image)"
+					default:
+						continue
+					}
+					chain, ok := g.Reach(n, credit)
+					if !ok {
+						continue // every route drains first
+					}
+					sites = append(sites, qSite{
+						node: n,
+						call: call,
+						desc: desc,
+						path: flow.PathString(fi.pkg.Fset, chain, g.Exit),
+						sc:   sc,
+					})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// recvName renders fn's receiver type name, "" for plain functions.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
 }

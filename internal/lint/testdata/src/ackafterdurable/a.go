@@ -1,0 +1,100 @@
+// Fixtures for the ackafterdurable analyzer: success Responses released
+// before the DIMM image persist in transaction-running scopes, and the
+// sanctioned shapes — persist-then-ack, conditional persists folded into
+// a may-persist helper (the shard.settle pattern), error responses, and
+// protocol answers from scopes that never touch the machine.
+package ackafterdurable
+
+import (
+	"io"
+
+	"pmemlog/internal/server"
+	"pmemlog/internal/sim"
+)
+
+type shard struct {
+	sys *sim.System
+	out io.Writer
+}
+
+// save is the durability point: drain, then persist the image.
+func (sh *shard) save() error {
+	sh.sys.Quiesce()
+	return sh.sys.SaveNVRAM(sh.out)
+}
+
+func (sh *shard) runBatch() {
+	sh.sys.RunN(func(ctx sim.Ctx, id int) {
+		ctx.TxBegin()
+		ctx.Store(0, 1)
+		ctx.TxCommit()
+	})
+}
+
+func (sh *shard) acksBeforeSave(resp chan server.Response) {
+	sh.runBatch()
+	resp <- server.Response{} // want "sends a client response with no image-persist call"
+	_ = sh.save()
+}
+
+func (sh *shard) acksAfterSave(resp chan server.Response) {
+	sh.runBatch()
+	_ = sh.save()
+	resp <- server.Response{Status: server.StatusOK}
+}
+
+// ackOnSkippedArm saves on one arm only: the read-only arm's ack has no
+// persist call on its path. The conditional must live inside a helper
+// (settle, below) to be provably ordered.
+func (sh *shard) ackOnSkippedArm(resp chan server.Response, wrote bool) {
+	sh.runBatch()
+	if wrote {
+		_ = sh.save()
+	}
+	resp <- server.Response{} // want "sends a client response with no image-persist call"
+}
+
+// settle persists when anything was written. It May persist, so a call
+// to it is the durability point on every path; whether the skip
+// condition is right is the crash test's job, not the analyzer's.
+func (sh *shard) settle(wrote bool) {
+	if wrote {
+		_ = sh.save()
+	}
+}
+
+func (sh *shard) acksAfterSettle(resp chan server.Response, wrote bool) {
+	sh.runBatch()
+	sh.settle(wrote)
+	resp <- server.Response{}
+}
+
+// errorAck claims no durable state: constant non-OK Status is exempt.
+func (sh *shard) errorAck(resp chan server.Response) {
+	sh.runBatch()
+	resp <- server.Response{Status: server.StatusErr, Err: "shard machine fault"}
+}
+
+// reply acks one frame down and never persists: at a call site before
+// the save, the ack is happening there.
+func reply(resp chan server.Response, r server.Response) {
+	resp <- r
+}
+
+func (sh *shard) acksThroughHelper(resp chan server.Response) {
+	sh.runBatch()
+	reply(resp, server.Response{}) // want "calls a helper that sends a client response"
+	_ = sh.save()
+}
+
+func (sh *shard) helperAfterSave(resp chan server.Response) {
+	sh.runBatch()
+	_ = sh.save()
+	reply(resp, server.Response{})
+}
+
+// protocolError never touches the machine: a scope with no transactions
+// owes no ordering and may answer malformed requests freely.
+func protocolError(resp chan server.Response) {
+	resp <- server.Response{Status: server.StatusErr, Err: "bad frame"}
+}

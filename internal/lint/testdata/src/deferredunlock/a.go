@@ -1,0 +1,96 @@
+// Fixtures for the deferredunlock analyzer: locks leaked on early-return
+// arms, released with the wrong flavor or the wrong receiver, and the
+// covered shapes — defer at acquisition, inline release on every path,
+// and panic exits (a crash, not a leak).
+package deferredunlock
+
+import "sync"
+
+type ring struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (r *ring) leaksOnEarlyReturn(stop bool) {
+	r.mu.Lock() // want "has a path to return without r.mu.Unlock"
+	if stop {
+		return
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *ring) deferred(stop bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if stop {
+		return
+	}
+	r.n++
+}
+
+func (r *ring) inlineOnAllPaths(fast bool) {
+	r.mu.Lock()
+	if fast {
+		r.n++
+		r.mu.Unlock()
+		return
+	}
+	r.n += 2
+	r.mu.Unlock()
+}
+
+func (r *ring) readLeak() int {
+	r.rw.RLock() // want "has a path to return without r.rw.RUnlock"
+	if r.n > 0 {
+		return r.n
+	}
+	r.rw.RUnlock()
+	return 0
+}
+
+func (r *ring) readCovered() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+// wrongFlavor releases a read acquisition with the writer Unlock: not a
+// matching release, and a runtime fault besides.
+func (r *ring) wrongFlavor() {
+	r.rw.RLock() // want "has a path to return without r.rw.RUnlock"
+	r.rw.Unlock()
+}
+
+// crossedReceivers unlocks a different mutex than it locked.
+func crossedReceivers(a, b *sync.Mutex) {
+	a.Lock() // want "has a path to return without a.Unlock"
+	b.Unlock()
+}
+
+// panicExit is a crash, not a leak: the lock dies with the process.
+func (r *ring) panicExit(bad bool) {
+	r.mu.Lock()
+	if bad {
+		panic("wedged")
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// closures are their own scopes: a leak inside one is the closure's.
+func (r *ring) closureLeak() func() {
+	return func() {
+		r.mu.Lock() // want "has a path to return without r.mu.Unlock"
+		r.n++
+	}
+}
+
+func (r *ring) closureCovered() func() {
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.n++
+	}
+}

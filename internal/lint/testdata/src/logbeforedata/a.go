@@ -1,0 +1,90 @@
+// Fixtures for the logbeforedata analyzer: persistent stores outside an
+// open transaction (bare, after-commit, on one CFG arm, or one frame
+// down in a helper), and the protected shapes that must pass — begins
+// through pure-begin helpers, setup contexts, and workload closures.
+package logbeforedata
+
+import "pmemlog/internal/sim"
+
+func storesBare(ctx sim.Ctx) {
+	ctx.Store(0, 1) // want "with no TxBegin on the path"
+}
+
+func storesAfterCommit(ctx sim.Ctx) {
+	ctx.TxBegin()
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+	ctx.Store(0, 2) // want "after TxCommit closed the transaction"
+}
+
+func storesInTx(ctx sim.Ctx) {
+	ctx.TxBegin()
+	ctx.Store(0, 1)
+	ctx.StoreBytes(8, []byte{1})
+	ctx.TxCommit()
+}
+
+// storesOnUnprotectedArm brackets the fast path's store but reaches the
+// tail store with no transaction open on the other arm. A lexical scan
+// sees a TxBegin above the store; only the CFG names the bare path.
+func storesOnUnprotectedArm(ctx sim.Ctx, fast bool) {
+	if fast {
+		ctx.TxBegin()
+		ctx.Store(0, 1)
+		ctx.TxCommit()
+		return
+	}
+	ctx.Store(0, 2) // want "with no TxBegin on the path"
+}
+
+// beginHelper is a pure-begin helper (Must TxBegin, never TxCommit):
+// calling it opens the transaction interprocedurally.
+func beginHelper(ctx sim.Ctx) {
+	ctx.TxBegin()
+}
+
+func beginsThroughHelper(ctx sim.Ctx) {
+	beginHelper(ctx)
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+}
+
+// applyHelper stores without opening its own transaction — the shape of
+// the server's applyPut/writeNode. It has module callers, so the
+// obligation is checked at each call site, not here.
+func applyHelper(ctx sim.Ctx) {
+	ctx.Store(0, 1)
+}
+
+func callsHelperInTx(ctx sim.Ctx) {
+	ctx.TxBegin()
+	applyHelper(ctx)
+	ctx.TxCommit()
+}
+
+func callsHelperBare(ctx sim.Ctx) {
+	applyHelper(ctx) // want "calls applyHelper, which stores persistent state"
+}
+
+// setupStores run before the machine is timed: a setup context has no
+// log to order against, whether used directly or passed to a helper.
+func setupStores(s *sim.System) {
+	setup := s.SetupCtx()
+	setup.Store(0, 1)
+	applyHelper(setup)
+}
+
+// workload closures handed to RunN start definitely out of transaction.
+func workloadCloses(s *sim.System) {
+	s.RunN(func(ctx sim.Ctx, id int) {
+		ctx.Store(0, 1) // want "with no TxBegin on the path"
+	})
+}
+
+func workloadBrackets(s *sim.System) {
+	s.RunN(func(ctx sim.Ctx, id int) {
+		ctx.TxBegin()
+		ctx.Store(0, 1)
+		ctx.TxCommit()
+	})
+}

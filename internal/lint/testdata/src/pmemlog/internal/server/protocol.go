@@ -1,0 +1,16 @@
+package server
+
+// Wire-protocol stubs for the ackafterdurable fixtures: the analyzer
+// keys client acks off sends whose element type is this package's
+// Response (or *connReq), so the fixture package needs the real names.
+const (
+	StatusOK  = byte(0x00)
+	StatusErr = byte(0x01)
+)
+
+// Response is one answer released to a client.
+type Response struct {
+	Status byte
+	Err    string
+	Value  uint64
+}

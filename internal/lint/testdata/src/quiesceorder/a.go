@@ -9,7 +9,7 @@ import (
 )
 
 func unsafeSave(s *sim.System, w io.Writer) error {
-	return s.SaveNVRAM(w) // want "without a preceding System.Quiesce"
+	return s.SaveNVRAM(w) // want "with no System.Quiesce on the path"
 }
 
 func safeSave(s *sim.System, w io.Writer) error {
@@ -18,7 +18,7 @@ func safeSave(s *sim.System, w io.Writer) error {
 }
 
 func unsafeWriteFile(s *sim.System) error {
-	return s.NVRAMImage().WriteFile("shard.img") // want "\\(Physical\\).WriteFile without a preceding System.Quiesce"
+	return s.NVRAMImage().WriteFile("shard.img") // want "\\(Physical\\).WriteFile with no System.Quiesce on the path"
 }
 
 func safeWriteFile(s *sim.System) error {
@@ -27,22 +27,44 @@ func safeWriteFile(s *sim.System) error {
 }
 
 func unsafeWriteTo(s *sim.System, w io.Writer) error {
-	_, err := s.NVRAMImage().WriteTo(w) // want "\\(Physical\\).WriteTo without a preceding System.Quiesce"
+	_, err := s.NVRAMImage().WriteTo(w) // want "\\(Physical\\).WriteTo with no System.Quiesce on the path"
 	return err
 }
 
 // quiesceAfterIsTooLate: draining after the bytes left does not help.
 func quiesceAfterIsTooLate(s *sim.System, w io.Writer) error {
-	err := s.SaveNVRAM(w) // want "without a preceding System.Quiesce"
+	err := s.SaveNVRAM(w) // want "with no System.Quiesce on the path"
 	s.Quiesce()
 	return err
 }
 
-// drainedInBranch is accepted by the lexical approximation: a Quiesce
-// appears earlier in the function, even though on a branch.
+// drainedInBranch was the lexical checker's blind spot: a Quiesce that
+// runs on only one arm leaves the other arm's image un-drained. The CFG
+// search finds and names the unprotected path.
 func drainedInBranch(s *sim.System, w io.Writer, dirty bool) error {
 	if dirty {
 		s.Quiesce()
 	}
+	return s.SaveNVRAM(w) // want "with no System.Quiesce on the path"
+}
+
+// drainedOnAllArms quiesces on both arms before the sink: every path
+// carries credit, so the save is clean without a dominating drain.
+func drainedOnAllArms(s *sim.System, w io.Writer, fast bool) error {
+	if fast {
+		s.Quiesce()
+	} else {
+		s.Quiesce()
+	}
+	return s.SaveNVRAM(w)
+}
+
+// drainHelper must-quiesces; calling it earns credit interprocedurally.
+func drainHelper(s *sim.System) {
+	s.Quiesce()
+}
+
+func drainedThroughHelper(s *sim.System, w io.Writer) error {
+	drainHelper(s)
 	return s.SaveNVRAM(w)
 }

@@ -8,16 +8,62 @@ import (
 )
 
 func leaks(ctx sim.Ctx) {
-	ctx.TxBegin() // want "opens 1 transaction"
+	ctx.TxBegin() // want "a path reaches return with no TxCommit"
 	ctx.Store(0, 1)
 }
 
 func leaksOneOfTwo(ctx sim.Ctx) {
-	ctx.TxBegin() // want "opens 2 transaction"
+	ctx.TxBegin()
 	ctx.Store(0, 1)
 	ctx.TxCommit()
-	ctx.TxBegin()
+	ctx.TxBegin() // want "a path reaches return with no TxCommit"
 	ctx.Store(0, 2)
+}
+
+// leaksOnOneArm commits on the happy path only: the early return leaks.
+// The lexical counter could not see this; the CFG names the arm.
+func leaksOnOneArm(ctx sim.Ctx, bad bool) {
+	ctx.TxBegin() // want "a path reaches return with no TxCommit"
+	if bad {
+		return
+	}
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+}
+
+// commitsOnAllArms closes the transaction on both branches; the join
+// proof needs per-path reasoning, not a dominating commit.
+func commitsOnAllArms(ctx sim.Ctx, alt bool) {
+	ctx.TxBegin()
+	if alt {
+		ctx.Store(0, 2)
+		ctx.TxCommit()
+		return
+	}
+	ctx.Store(0, 1)
+	ctx.TxCommit()
+}
+
+// commitHelper is a pure-commit helper (Must TxCommit, never TxBegin):
+// calling it earns commit credit interprocedurally.
+func commitHelper(ctx sim.Ctx) {
+	ctx.TxCommit()
+}
+
+func pairedThroughHelper(ctx sim.Ctx) {
+	ctx.TxBegin()
+	ctx.Store(0, 1)
+	commitHelper(ctx)
+}
+
+// panicExit is not a leak: the paths that skip TxCommit end in panic,
+// which models a crash — recovery, not truncation, owns that state.
+func panicExit(ctx sim.Ctx, broken bool) {
+	ctx.TxBegin()
+	if broken {
+		panic("wedged")
+	}
+	ctx.TxCommit()
 }
 
 func paired(ctx sim.Ctx) {

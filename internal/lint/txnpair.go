@@ -3,6 +3,8 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+
+	"pmemlog/internal/lint/flow"
 )
 
 // Txnpair enforces transaction pairing, the precondition for the paper's
@@ -18,17 +20,27 @@ var Txnpair = &Analyzer{
 }
 
 func runTxnpair(pass *Pass) {
+	// The trace package replays recorded op streams: its TxBegin/TxCommit
+	// calls are driven by data whose pairing the recording run
+	// established, so no static path proof can (or needs to) hold there.
+	replay := pass.Pkg.Path() == tracePkg
 	for _, file := range pass.Files {
 		for _, fd := range funcScopes(file) {
-			checkCtxPairing(pass, fd)
+			if !replay {
+				checkCtxPairing(pass, fd)
+			}
 			checkEnginePairing(pass, fd)
 		}
 	}
 }
 
-// checkCtxPairing counts sim.Ctx transaction calls over the function's
-// whole subtree (closures included — `defer ctx.TxCommit()` and commit
-// helpers in deferred function literals are common and correct).
+// checkCtxPairing proves, on each scope's CFG, that every TxBegin is
+// followed by a TxCommit on all panic-free paths to return. Credit comes
+// from a direct TxCommit, a `defer ctx.TxCommit()` (or a deferred or
+// stored closure committing — permissive by design: the old lexical
+// check accepted those, and a closure built to commit almost always
+// runs), or a call to a pure-commit helper (Must TxCommit, never
+// TxBegin). A violation reports the concrete escaping path.
 func checkCtxPairing(pass *Pass, fd *ast.FuncDecl) {
 	// A method literally named TxBegin or TxCommit is a forwarding
 	// wrapper implementing sim.Ctx (tracers, fault injectors): the call
@@ -37,26 +49,74 @@ func checkCtxPairing(pass *Pass, fd *ast.FuncDecl) {
 	if fd.Recv != nil && (fd.Name.Name == "TxBegin" || fd.Name.Name == "TxCommit") {
 		return
 	}
-	var begins []*ast.CallExpr
-	commits := 0
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for _, sc := range scopesOf(fd) {
+		checkCtxScope(pass, sc)
+	}
+}
+
+func checkCtxScope(pass *Pass, sc scope) {
+	commitCredit := func(n ast.Node) bool {
+		for _, call := range callsIn(n, true) {
+			fn := calleeOf(pass.Info, call)
+			if primEffect(fn) == effTxCommit {
+				return true
+			}
+			if fi := pass.Mod.funcInfo(fn); fi != nil &&
+				fi.must&effTxCommit != 0 && fi.may&effTxBegin == 0 {
+				return true
+			}
 		}
-		fn := calleeOf(pass.Info, call)
-		switch {
-		case isFunc(fn, simPkg, "", "TxBegin"):
-			begins = append(begins, call)
-		case isFunc(fn, simPkg, "", "TxCommit"):
-			commits++
+		return false
+	}
+
+	g := pass.Mod.Graph(sc.body())
+	type site struct {
+		n    ast.Node
+		b    *flow.Block
+		i    int
+		call *ast.CallExpr
+	}
+	var begins, deferCommits []site
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				if commitCredit(n) {
+					deferCommits = append(deferCommits, site{n, b, i, nil})
+				}
+				continue
+			}
+			for _, call := range callsIn(n, false) {
+				if primEffect(calleeOf(pass.Info, call)) == effTxBegin {
+					begins = append(begins, site{n, b, i, call})
+				}
+			}
 		}
-		return true
-	})
-	if len(begins) > commits {
-		pass.Reportf(begins[0].Pos(),
-			"%s opens %d transaction(s) with TxBegin but calls TxCommit %d time(s); an uncommitted transaction pins its log records and wedges truncation",
-			funcName(fd), len(begins), commits)
+	}
+	if len(begins) == 0 {
+		return
+	}
+	dom := flow.Dominators(g)
+	for _, beg := range begins {
+		// A commit already registered with defer when TxBegin runs (defer
+		// earlier in the same block, or in a dominating one) covers every
+		// exit; Escape only scans forward from the begin.
+		covered := false
+		for _, dc := range deferCommits {
+			if (dc.b == beg.b && dc.i < beg.i) || (dc.b != beg.b && dom.Dominates(dc.b, beg.b)) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		chain, escapes := g.Escape(beg.n, commitCredit)
+		if !escapes {
+			continue
+		}
+		pass.Reportf(beg.call.Pos(),
+			"%s opens a transaction with TxBegin but a path reaches return with no TxCommit (%s); an uncommitted transaction pins its log records and wedges truncation",
+			sc.name, flow.PathString(pass.Fset, chain, g.Exit))
 	}
 }
 

@@ -280,25 +280,7 @@ func (sh *shard) runBatch(batch []*request) {
 			}
 		}
 	})
-	switch {
-	case runErr != nil:
-		// Machine fault (e.g. wedged log): the batch's effects are
-		// indeterminate, so nothing is acked as OK.
-		for i := range resps {
-			resps[i] = Response{Status: StatusErr, Err: "shard machine fault: " + runErr.Error()}
-		}
-	case wrote:
-		sh.unsaved = true
-		if err := sh.save(); err != nil {
-			// Commits happened on the simulated machine but the image did
-			// not persist: acking would break the durability contract.
-			for i, r := range batch {
-				if r.req != nil && r.req.Code != OpGet {
-					resps[i] = Response{Status: StatusErr, Err: "image save failed: " + err.Error()}
-				}
-			}
-		}
-	}
+	sh.settle(runErr, wrote, batch, resps)
 	sh.publishLogState()
 	for i, r := range batch {
 		if r.stats != nil {
@@ -320,6 +302,36 @@ func (sh *shard) runBatch(batch []*request) {
 			continue
 		}
 		r.resp <- resps[i]
+	}
+}
+
+// settle is the batch's durability point, between the last transaction
+// and the first ack: if anything was written the DIMM image is persisted
+// (save = Quiesce + WriteFile), and any outcome that cannot be made
+// durable is downgraded to an error before a client can see it. Keeping
+// this in one call means the image persist dominates every ack send in
+// runBatch on all paths — the ordering pmlint's ackafterdurable rule
+// proves; whether the skip-save condition (read-only batch) is right is
+// what TestFlightDumpKillRecoveryAgreement checks dynamically.
+func (sh *shard) settle(runErr error, wrote bool, batch []*request, resps []Response) {
+	switch {
+	case runErr != nil:
+		// Machine fault (e.g. wedged log): the batch's effects are
+		// indeterminate, so nothing is acked as OK.
+		for i := range resps {
+			resps[i] = Response{Status: StatusErr, Err: "shard machine fault: " + runErr.Error()}
+		}
+	case wrote:
+		sh.unsaved = true
+		if err := sh.save(); err != nil {
+			// Commits happened on the simulated machine but the image did
+			// not persist: acking would break the durability contract.
+			for i, r := range batch {
+				if r.req != nil && r.req.Code != OpGet {
+					resps[i] = Response{Status: StatusErr, Err: "image save failed: " + err.Error()}
+				}
+			}
+		}
 	}
 }
 
