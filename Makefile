@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint pmlint-flow trace trace-test bench-baseline perf doctor chaos ci
+.PHONY: all build test race lint fmt vet pmlint pmlint-flow trace trace-test bench-baseline perf doctor chaos pulse ci
 
 all: build test
 
@@ -82,4 +82,15 @@ chaos:
 	mkdir -p chaos-out
 	$(GO) run ./cmd/pmchaos -seeds 20 -dir chaos-out -o chaos-out/chaos-report.json
 
-ci: build lint pmlint-flow test race trace-test perf doctor chaos
+# pulse is the live-telemetry smoke (DESIGN.md §15): the /pulse.json
+# schema round-trip, the end-to-end chain (spanned traffic → closed
+# window → stage waterfall accounting for the e2e p99 → exemplar
+# resolvable in a flight dump → OpenMetrics gauges), and a pmtop -once
+# golden frame rendered against a live server. Also part of `test`,
+# gated explicitly so ci fails loudly if the operator surface breaks.
+pulse:
+	$(GO) test ./internal/obs/pulse -run TestPulseSchemaRoundTrip -count=1
+	$(GO) test ./internal/server -run 'TestPulseEndToEnd|TestHealthzDegraded' -count=1
+	$(GO) test ./cmd/pmtop -run 'TestRenderFixture|TestOnceAgainstLiveServer' -count=1
+
+ci: build lint pmlint-flow test race trace-test perf doctor chaos pulse

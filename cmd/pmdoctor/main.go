@@ -222,7 +222,8 @@ func printSpan(out io.Writer, d *flight.Dump, sp *flight.SpanSnapshot) {
 	for _, st := range []struct {
 		name string
 		ns   int64
-	}{{"enqueue", sp.EnqueueNS}, {"apply", sp.ApplyNS}, {"ack", sp.AckNS}} {
+	}{{"enqueue", sp.EnqueueNS}, {"apply", sp.ApplyNS}, {"fwb", sp.FwbNS},
+		{"durable", sp.DurableNS}, {"ack", sp.AckNS}} {
 		if st.ns == 0 {
 			fmt.Fprintf(out, "  %s=-", st.name)
 			continue

@@ -12,6 +12,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pmemlog/internal/prof"
 	"pmemlog/internal/server"
@@ -29,7 +30,14 @@ func main() {
 		nvram  = flag.Uint64("nvram-mb", 8, "per-shard NVRAM size in MiB")
 		logKB  = flag.Uint64("log-kb", 256, "per-shard log size in KiB")
 
-		httpAddr = flag.String("http-addr", "", "serve /healthz readiness on this address (off when empty)")
+		httpAddr = flag.String("http-addr", "", "serve /healthz, /pulse.json, and /metrics on this address (off when empty)")
+
+		pulseInterval = flag.Duration("pulse-interval", time.Second, "telemetry window length (pmtop refresh granularity)")
+		pulseWindows  = flag.Int("pulse-windows", 64, "completed telemetry windows retained for trends")
+		slo           = flag.Duration("slo", 20*time.Millisecond, "latency objective for SLO burn accounting")
+		sloBudget     = flag.Float64("slo-budget", 0.001, "error budget: tolerated fraction of requests over the objective")
+		degradedWrap  = flag.Float64("degraded-wrap", 1.0, "log wrap passes/s per shard before /healthz reports degraded")
+		degradedQueue = flag.Float64("degraded-queue", 0.9, "queue-fill fraction per shard before /healthz reports degraded")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at drain)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at drain")
@@ -59,6 +67,13 @@ func main() {
 		NVRAMBytes: *nvram << 20,
 		LogBytes:   *logKB << 10,
 		HTTPAddr:   *httpAddr,
+
+		PulseInterval:    *pulseInterval,
+		PulseWindows:     *pulseWindows,
+		SLOLatency:       *slo,
+		SLOBudget:        *sloBudget,
+		DegradedWrapRate: *degradedWrap,
+		DegradedQueue:    *degradedQueue,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

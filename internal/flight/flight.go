@@ -46,23 +46,34 @@ func SpanTag(span uint64) uint32 {
 }
 
 // Stage indices for a span's per-hop timestamps, in pipeline order.
+// FWB and Durable are batch-granular: a shard applies a whole batch,
+// then pays the forced-write-back drain and image persist once for all
+// of it, so every spanned request in the batch shares those two marks —
+// exactly the attribution the paper's no-force argument needs (commit
+// is instant; durability cost is the decoupled FWB stage).
 const (
 	StageRecv    = iota // conn reader decoded the request
 	StageEnqueue        // routed into the shard's bounded queue
 	StageApply          // shard apply began executing it
+	StageFWB            // batch applies done; FWB drain + image persist starting
+	StageDurable        // batch durable (or determined read-only, no persist)
 	StageAck            // response handed to the conn writer
 	numStages
 )
 
-var stageNames = [numStages]string{"recv", "enqueue", "apply", "ack"}
+var stageNames = [numStages]string{"recv", "enqueue", "apply", "fwb", "durable", "ack"}
 
-// StageName labels a stage index ("recv", "enqueue", "apply", "ack").
+// StageName labels a stage index ("recv", "enqueue", "apply", "fwb",
+// "durable", "ack").
 func StageName(i int) string {
 	if i < 0 || i >= numStages {
 		return "unknown"
 	}
 	return stageNames[i]
 }
+
+// NumStages is the stage count (len of a full per-stage vector).
+const NumStages = numStages
 
 // Span is one in-flight request's flight record. Every field is atomic:
 // the owning request's goroutines (conn reader → shard → conn writer)
@@ -112,6 +123,16 @@ func (sp *Span) Tag() uint32 { return SpanTag(sp.id.Load()) }
 // Mark records the given stage's timestamp.
 func (sp *Span) Mark(stage int, ns int64) { sp.stageNS[stage].Store(ns) }
 
+// StageNS reads one stage's timestamp (0 = not reached). The pulse
+// collector uses it to fold a finishing span's timings into the
+// windowed stage histograms without snapshotting the whole span.
+func (sp *Span) StageNS(stage int) int64 {
+	if stage < 0 || stage >= numStages {
+		return 0
+	}
+	return sp.stageNS[stage].Load()
+}
+
 // SetShard records the owning shard once routed.
 func (sp *Span) SetShard(shard int) { sp.shard.Store(int32(shard)) }
 
@@ -143,6 +164,8 @@ type SpanSnapshot struct {
 	RecvNS    int64 `json:"recv_ns"`
 	EnqueueNS int64 `json:"enqueue_ns"`
 	ApplyNS   int64 `json:"apply_ns"`
+	FwbNS     int64 `json:"fwb_ns"`     // batch applies done, persist starting
+	DurableNS int64 `json:"durable_ns"` // batch durability point reached
 	AckNS     int64 `json:"ack_ns"`
 
 	TxBeginCyc  uint64 `json:"tx_begin_cyc"`
@@ -154,9 +177,51 @@ type SpanSnapshot struct {
 // Tag reports the snapshot's 32-bit obs annotation.
 func (s *SpanSnapshot) Tag() uint32 { return SpanTag(s.ID) }
 
-// snapshotInto copies the span's current state (possibly torn across
-// fields, individually race-clean) without allocating.
-func (sp *Span) snapshotInto(out *SpanSnapshot) {
+// LatencyStage names the per-stage latency decomposition of a finished
+// span, in pipeline order (the waterfall pmtop draws).
+const (
+	LatRoute = iota // recv → enqueue: decode + shard routing
+	LatQueue        // enqueue → apply: shard queue wait
+	LatApply        // apply → fwb: machine txns + log appends (batch tail)
+	LatFWB          // fwb → durable: FWB drain + image persist
+	LatAck          // durable → ack: response writeback hand-off
+	NumLatStages
+)
+
+var latStageNames = [NumLatStages]string{"route", "queue", "apply", "fwb", "ack"}
+
+// LatStageName labels a latency-stage index.
+func LatStageName(i int) string {
+	if i < 0 || i >= NumLatStages {
+		return "unknown"
+	}
+	return latStageNames[i]
+}
+
+// StageDurations decomposes the snapshot's marks into per-stage
+// latencies (nanoseconds). A stage whose bracketing marks are missing
+// or out of order reports -1 (unknown) — an inline-answered request,
+// for example, never reaches the shard stages. The sum of the known
+// stages of a fully-marked span equals its recv→ack latency exactly,
+// which is what lets windowed per-stage quantiles be read as shares of
+// the end-to-end tail.
+func (s *SpanSnapshot) StageDurations(out *[NumLatStages]int64) {
+	marks := [NumLatStages + 1]int64{s.RecvNS, s.EnqueueNS, s.ApplyNS, s.FwbNS, s.DurableNS, s.AckNS}
+	for i := 0; i < NumLatStages; i++ {
+		lo, hi := marks[i], marks[i+1]
+		if lo <= 0 || hi <= 0 || hi < lo {
+			out[i] = -1
+			continue
+		}
+		out[i] = hi - lo
+	}
+}
+
+// SnapshotInto copies the span's current state (possibly torn across
+// fields, individually race-clean) without allocating. Exported for
+// the pulse exemplar capture, which snapshots a finishing span before
+// Finish recycles the slot.
+func (sp *Span) SnapshotInto(out *SpanSnapshot) {
 	out.ID = sp.id.Load()
 	out.Op = uint8(sp.op.Load())
 	out.Shard = int(sp.shard.Load())
@@ -165,6 +230,8 @@ func (sp *Span) snapshotInto(out *SpanSnapshot) {
 	out.RecvNS = sp.stageNS[StageRecv].Load()
 	out.EnqueueNS = sp.stageNS[StageEnqueue].Load()
 	out.ApplyNS = sp.stageNS[StageApply].Load()
+	out.FwbNS = sp.stageNS[StageFWB].Load()
+	out.DurableNS = sp.stageNS[StageDurable].Load()
 	out.AckNS = sp.stageNS[StageAck].Load()
 	out.TxBeginCyc = sp.txBegin.Load()
 	out.TxCommitCyc = sp.txCommit.Load()
@@ -239,7 +306,7 @@ func (t *Table) Finish(sp *Span, status byte, ackNS int64) {
 	if t.thresholdNS > 0 && len(t.slow) > 0 {
 		if lat := ackNS - sp.stageNS[StageRecv].Load(); lat >= t.thresholdNS {
 			t.slowMu.Lock()
-			sp.snapshotInto(&t.slow[t.slowPos%uint64(len(t.slow))])
+			sp.SnapshotInto(&t.slow[t.slowPos%uint64(len(t.slow))])
 			t.slowPos++
 			t.slowMu.Unlock()
 		}
@@ -265,7 +332,7 @@ func (t *Table) InFlight() []SpanSnapshot {
 			continue
 		}
 		var s SpanSnapshot
-		sp.snapshotInto(&s)
+		sp.SnapshotInto(&s)
 		if sp.state.Load() != 1 {
 			continue // finished mid-copy; drop the half view
 		}

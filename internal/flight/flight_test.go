@@ -206,3 +206,43 @@ func writeRaw(path string, d *Dump) error {
 	}
 	return os.WriteFile(path, data, 0o644)
 }
+
+// TestStageDurations pins the per-stage latency decomposition: known
+// marks yield exact durations, missing marks report -1, and a fully
+// marked span's stages sum exactly to its recv→ack latency.
+func TestStageDurations(t *testing.T) {
+	full := SpanSnapshot{RecvNS: 100, EnqueueNS: 110, ApplyNS: 150, FwbNS: 180, DurableNS: 400, AckNS: 420}
+	var d [NumLatStages]int64
+	full.StageDurations(&d)
+	want := [NumLatStages]int64{10, 40, 30, 220, 20}
+	if d != want {
+		t.Fatalf("StageDurations = %v, want %v", d, want)
+	}
+	var sum int64
+	for _, v := range d {
+		sum += v
+	}
+	if e2e := full.AckNS - full.RecvNS; sum != e2e {
+		t.Fatalf("stage sum %d != e2e %d", sum, e2e)
+	}
+	// An inline-answered request never reaches the shard stages.
+	inline := SpanSnapshot{RecvNS: 100, AckNS: 105}
+	inline.StageDurations(&d)
+	if d != [NumLatStages]int64{-1, -1, -1, -1, -1} {
+		t.Fatalf("inline StageDurations = %v, want all -1", d)
+	}
+	// Out-of-order marks (torn snapshot) are unknown, not negative.
+	torn := SpanSnapshot{RecvNS: 200, EnqueueNS: 150, ApplyNS: 220, FwbNS: 230, DurableNS: 240, AckNS: 250}
+	torn.StageDurations(&d)
+	if d[LatRoute] != -1 || d[LatQueue] != 70 {
+		t.Fatalf("torn StageDurations = %v", d)
+	}
+	for i := 0; i < NumLatStages; i++ {
+		if LatStageName(i) == "unknown" {
+			t.Fatalf("stage %d unnamed", i)
+		}
+	}
+	if LatStageName(-1) != "unknown" || LatStageName(NumLatStages) != "unknown" {
+		t.Fatal("out-of-range stage names must be unknown")
+	}
+}

@@ -7,10 +7,11 @@ import (
 )
 
 // Noallochotpath polices heap allocation on the paper-critical hot
-// paths: the circular-log append/truncate machinery (internal/nvlog) and
-// the shard request loop with its store (internal/server). Those paths
-// carry every persisted byte, and the repo's alloc-guard tests hold them
-// to 0 allocs/op in steady state — a stray make() or a fresh-slice
+// paths: the circular-log append/truncate machinery (internal/nvlog),
+// the shard request loop with its store (internal/server), and the pulse
+// telemetry snapshotters (internal/obs/pulse). Those paths carry every
+// persisted byte or run per request/interval while traffic lands, and
+// the repo's alloc-guard tests hold them to 0 allocs/op in steady state — a stray make() or a fresh-slice
 // append reintroduces per-op garbage that the tests only catch later, on
 // whichever machine runs them. The analyzer catches the two recurring
 // shapes at build time:
@@ -27,7 +28,7 @@ import (
 // per-process growth) are waived line-by-line with //pmlint:allow.
 var Noallochotpath = &Analyzer{
 	Name: "noallochotpath",
-	Doc:  "inside nvlog append/truncate and server shard-apply/store hot functions, no make() into locals and no append onto freshly allocated slices",
+	Doc:  "inside nvlog append/truncate, server shard-apply/store, and pulse snapshotter hot functions, no make() into locals and no append onto freshly allocated slices",
 	Run:  runNoallochotpath,
 }
 
@@ -39,17 +40,20 @@ var allocHotFuncs = map[string]map[string]bool{
 		"Log.Truncate":      true,
 	},
 	"internal/server": {
-		"shard.collect":   true,
-		"shard.runBatch":  true,
-		"shard.apply":     true,
-		"store.find":      true,
-		"store.get":       true,
-		"store.writeNode": true,
-		"store.applyPut":  true,
-		"store.applyDel":  true,
-		"store.put":       true,
-		"store.del":       true,
-		"store.txn":       true,
+		"shard.collect":         true,
+		"shard.runBatch":        true,
+		"shard.apply":           true,
+		"shard.publishLogState": true,
+		"Server.observeFinish":  true,
+		"Server.sampleShard":    true,
+		"store.find":            true,
+		"store.get":             true,
+		"store.writeNode":       true,
+		"store.applyPut":        true,
+		"store.applyDel":        true,
+		"store.put":             true,
+		"store.del":             true,
+		"store.txn":             true,
 	},
 	// The flight recorder's request path runs once per request inside the
 	// conn reader / shard loop / conn writer; its contract is atomic
@@ -61,7 +65,15 @@ var allocHotFuncs = map[string]map[string]bool{
 		"Span.Mark":         true,
 		"Span.SetTxn":       true,
 		"Span.SetLogWindow": true,
-		"Span.snapshotInto": true,
+		"Span.SnapshotInto": true,
+		"Span.StageNS":      true,
+	},
+	// The pulse collector ticks every interval and is offered every
+	// finished request; both write into preallocated ring slots and
+	// scratch snapshots only (init() does the one-time allocation).
+	"internal/obs/pulse": {
+		"Collector.Tick":         true,
+		"Collector.NoteFinished": true,
 	},
 }
 

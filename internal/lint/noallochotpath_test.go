@@ -13,3 +13,7 @@ func TestNoallochotpathServer(t *testing.T) {
 func TestNoallochotpathFlight(t *testing.T) {
 	RunFixture(t, Noallochotpath, "noalloc/internal/flight")
 }
+
+func TestNoallochotpathPulse(t *testing.T) {
+	RunFixture(t, Noallochotpath, "noalloc/internal/obs/pulse")
+}

@@ -7,48 +7,78 @@ import (
 	"strings"
 )
 
-// Import paths the obshotpath analyzer keys on.
-const (
-	serverPkg = "pmemlog/internal/server"
-	obsPkg    = "pmemlog/internal/obs"
-)
+// serverPkg is the shard-loop package several analyzers key on
+// (chaosonly, effects); obshotpath itself matches by path suffix.
+const serverPkg = "pmemlog/internal/server"
 
-// Obshotpath polices the observability calls inside the server's shard
-// request loop. A shard goroutine serializes every write to its
-// simulated machine: anything that blocks there — a registry lookup
+// Obshotpath polices the observability calls inside the audited hot
+// loops: the server's shard request loop and the pulse collector's
+// per-interval tick. A shard goroutine serializes every write to its
+// simulated machine, and the pulse ticker samples every tracked series
+// while requests land: anything that blocks there — a registry lookup
 // taking the registration mutex, a Snapshot allocating per record —
-// stalls all of that shard's clients at once. Only the all-atomic
-// handle fast paths are allowed in the loop; registration and
-// rendering belong in setup code or the stats path.
+// stalls clients or tears a window. Only the all-atomic handle fast
+// paths are allowed; registration and rendering belong in setup code
+// or the stats/doc path.
 var Obshotpath = &Analyzer{
 	Name: "obshotpath",
-	Doc:  "inside internal/server shard apply loops, only lock-free allocation-free obs calls (Counter.Add/Inc, Gauge.Set/Add, Histogram.Observe, Tracer.Emit/EmitSpan/Enabled)",
+	Doc:  "inside server shard loops and pulse snapshotters, only lock-free allocation-free obs calls (Counter.Add/Inc/Value, Gauge.Set/Add, Histogram.Observe/SnapshotInto, HistogramSnapshot.DeltaSince, Tracer.Emit/EmitSpan/Enabled)",
 	Run:  runObshotpath,
 }
 
-// obsHotFuncs names the functions that constitute the shard request
-// loop: everything executed by the shard goroutine between dequeuing a
-// request and releasing its response.
-var obsHotFuncs = map[string]bool{
-	"shard.loop":     true,
-	"shard.collect":  true,
-	"shard.drain":    true,
-	"shard.runBatch": true,
-	"shard.apply":    true,
+// obsHotFuncsByPkg names the audited hot functions per package-path
+// suffix (suffix-matched so fixture trees mirroring the layout under a
+// different root get the same rules): per shard request for the
+// server, per window tick / per finished request for pulse.
+var obsHotFuncsByPkg = map[string]map[string]bool{
+	"internal/server": {
+		"shard.loop":            true,
+		"shard.collect":         true,
+		"shard.drain":           true,
+		"shard.runBatch":        true,
+		"shard.apply":           true,
+		"shard.publishLogState": true,
+		"Server.observeFinish":  true,
+		"Server.sampleShard":    true,
+	},
+	"internal/obs/pulse": {
+		"Collector.Tick":         true,
+		"Collector.NoteFinished": true,
+	},
+}
+
+// obsHotFuncsFor returns the hot-function set for pkgPath, nil if the
+// package has no audited hot path.
+func obsHotFuncsFor(pkgPath string) map[string]bool {
+	for suffix, funcs := range obsHotFuncsByPkg {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return funcs
+		}
+	}
+	return nil
+}
+
+// isObsPkg reports whether path is the metrics registry package (the
+// package whose call surface the rule audits).
+func isObsPkg(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
 }
 
 // obsHotAllowed lists the obs entry points that are safe on the hot
 // path: each is a handful of atomic operations, no mutex, no
 // allocation (obs documents and tests this contract).
 var obsHotAllowed = map[string]bool{
-	"Counter.Inc":       true,
-	"Counter.Add":       true,
-	"Gauge.Set":         true,
-	"Gauge.Add":         true,
-	"Histogram.Observe": true,
-	"Tracer.Emit":       true,
-	"Tracer.EmitSpan":   true,
-	"Tracer.Enabled":    true,
+	"Counter.Inc":                  true,
+	"Counter.Add":                  true,
+	"Counter.Value":                true,
+	"Gauge.Set":                    true,
+	"Gauge.Add":                    true,
+	"Histogram.Observe":            true,
+	"Histogram.SnapshotInto":       true,
+	"HistogramSnapshot.DeltaSince": true,
+	"Tracer.Emit":                  true,
+	"Tracer.EmitSpan":              true,
+	"Tracer.Enabled":               true,
 }
 
 // obsRecvName renders fn's receiver type name, "" for package-level
@@ -69,13 +99,14 @@ func obsRecvName(fn *types.Func) string {
 }
 
 func runObshotpath(pass *Pass) {
-	if pass.Pkg.Path() != serverPkg {
+	hotFuncs := obsHotFuncsFor(pass.Pkg.Path())
+	if hotFuncs == nil {
 		return
 	}
 	for _, file := range pass.Files {
 		for _, fd := range funcScopes(file) {
 			hot := funcName(fd)
-			if !obsHotFuncs[hot] {
+			if !hotFuncs[hot] {
 				continue
 			}
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -84,7 +115,7 @@ func runObshotpath(pass *Pass) {
 					return true
 				}
 				fn := calleeOf(pass.Info, call)
-				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+				if fn == nil || fn.Pkg() == nil || !isObsPkg(fn.Pkg().Path()) {
 					return true
 				}
 				name := fn.Name()
@@ -95,7 +126,7 @@ func runObshotpath(pass *Pass) {
 					return true
 				}
 				pass.Reportf(call.Pos(),
-					"obs.%s inside shard hot function %s may lock or allocate, stalling every client of the shard; only %s are allowed there",
+					"obs.%s inside hot function %s may lock or allocate, stalling the loop's clients; only %s are allowed there",
 					name, hot, allowedList())
 				return true
 			})

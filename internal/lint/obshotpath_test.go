@@ -5,3 +5,7 @@ import "testing"
 func TestObshotpath(t *testing.T) {
 	RunFixture(t, Obshotpath, "pmemlog/internal/server")
 }
+
+func TestObshotpathPulse(t *testing.T) {
+	RunFixture(t, Obshotpath, "pmemlog/internal/obs/pulse")
+}

@@ -34,7 +34,15 @@ func (g *Gauge) Add(n int64) {}
 
 type Histogram struct{}
 
-func (h *Histogram) Observe(v uint64) {}
+func (h *Histogram) Observe(v uint64)                  {}
+func (h *Histogram) Snapshot() HistogramSnapshot       { return HistogramSnapshot{} }
+func (h *Histogram) SnapshotInto(s *HistogramSnapshot) {}
+
+// HistogramSnapshot is the value-type capture of a histogram.
+type HistogramSnapshot struct{}
+
+func (s *HistogramSnapshot) DeltaSince(prev, out *HistogramSnapshot) {}
+func (s *HistogramSnapshot) Quantile(q float64) uint64               { return 0 }
 
 // Registry is the locking name → handle table.
 type Registry struct{}

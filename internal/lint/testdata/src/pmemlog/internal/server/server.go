@@ -38,7 +38,7 @@ func (sh *shard) runBatch() {
 		sh.tracer.Emit(sh.id, 0, 0, 0, 0)
 		sh.tracer.EmitSpan(sh.id, 0, 0, 0, 0, 7)
 	}
-	_ = sh.tracer.RingStats() // want "obs.Tracer.RingStats inside shard hot function shard.runBatch"
+	_ = sh.tracer.RingStats() // want "obs.Tracer.RingStats inside hot function shard.runBatch"
 	sh.count.Inc()
 	sh.count.Add(2)
 	sh.gauge.Set(1)
@@ -46,19 +46,19 @@ func (sh *shard) runBatch() {
 	sh.hist.Observe(17)
 	sh.apply()
 
-	h := sh.reg.Histogram("lat", "", "") // want "obs.Registry.Histogram inside shard hot function shard.runBatch"
+	h := sh.reg.Histogram("lat", "", "") // want "obs.Registry.Histogram inside hot function shard.runBatch"
 	h.Observe(1)
 }
 
 func (sh *shard) apply() {
 	sh.hist.Observe(3)
-	sh.reg.Counter("reqs", "", "").Inc() // want "obs.Registry.Counter inside shard hot function shard.apply"
-	_ = sh.tracer.Snapshot()             // want "obs.Tracer.Snapshot inside shard hot function shard.apply"
-	sh.tracer.Reset()                    // want "obs.Tracer.Reset inside shard hot function shard.apply"
+	sh.reg.Counter("reqs", "", "").Inc() // want "obs.Registry.Counter inside hot function shard.apply"
+	_ = sh.tracer.Snapshot()             // want "obs.Tracer.Snapshot inside hot function shard.apply"
+	sh.tracer.Reset()                    // want "obs.Tracer.Reset inside hot function shard.apply"
 }
 
 func (sh *shard) drain() {
-	_ = obs.NewRegistry() // want "obs.NewRegistry inside shard hot function shard.drain"
+	_ = obs.NewRegistry() // want "obs.NewRegistry inside hot function shard.drain"
 }
 
 // initObs is setup code: registry lookups are fine off the hot path.

@@ -83,18 +83,39 @@ func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 // Max reports the largest observed value, 0 when empty.
 func (h *Histogram) Max() uint64 { return h.max.Load() }
 
-// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
-// the bucket where the cumulative count crosses q, clamped to Max. It
-// reads the buckets without a consistent snapshot; concurrent Observes
-// can skew the estimate by at most the in-flight samples.
+// Quantile estimates the q-quantile (0 < q <= 1) by bucket
+// interpolation (see QuantileFromBuckets), clamped to Max. It reads the
+// buckets without a consistent snapshot; concurrent Observes can skew
+// the estimate by at most the in-flight samples.
 func (h *Histogram) Quantile(q float64) uint64 {
+	var counts [histBuckets]uint64
+	for b := range counts {
+		counts[b] = h.buckets[b].Load()
+	}
+	return QuantileFromBuckets(counts[:], q, h.max.Load())
+}
+
+// QuantileFromBuckets estimates the q-quantile of a log2 bucket vector
+// (bucket b counts values v with bits.Len64(v) == b, i.e. v in
+// [2^(b-1), 2^b)) by linear interpolation inside the bucket where the
+// cumulative count crosses q. The total is derived from the buckets
+// themselves, so a windowed delta vector whose separate count field is
+// transiently skewed by concurrent writers still yields a sane
+// estimate. max, when nonzero, clamps the result (pass the histogram's
+// high-water mark for whole-life quantiles; 0 for windowed deltas,
+// whose true window max is unknown). q outside (0,1] clamps to the
+// nearest valid quantile; an empty vector reports 0.
+func QuantileFromBuckets(buckets []uint64, q float64, max uint64) uint64 {
 	if math.IsNaN(q) || q <= 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	total := h.count.Load()
+	var total uint64
+	for _, c := range buckets {
+		total += c
+	}
 	if total == 0 {
 		return 0
 	}
@@ -103,24 +124,93 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		target = 1
 	}
 	var cum uint64
-	for b := 0; b < histBuckets; b++ {
-		cum += h.buckets[b].Load()
-		if cum >= target {
-			var hi uint64
-			if b == 0 {
-				hi = 0
-			} else if b >= 64 {
-				hi = math.MaxUint64
-			} else {
-				hi = 1<<uint(b) - 1
-			}
-			if m := h.max.Load(); hi > m {
-				hi = m
-			}
-			return hi
+	for b, c := range buckets {
+		if c == 0 {
+			continue
 		}
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		// The target sample falls in bucket b, spanning [lo, hi].
+		var lo, hi uint64
+		switch {
+		case b == 0:
+			lo, hi = 0, 0
+		case b >= 64:
+			lo, hi = 1<<63, math.MaxUint64
+		default:
+			lo, hi = uint64(1)<<uint(b-1), uint64(1)<<uint(b)-1
+		}
+		frac := float64(target-cum) / float64(c)
+		v := lo + uint64(frac*float64(hi-lo))
+		if max != 0 && v > max {
+			v = max
+		}
+		return v
 	}
-	return h.max.Load()
+	// Unreachable (total > 0 guarantees a crossing), but stay total.
+	return max
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's counters:
+// the raw material for windowed rates and quantiles. Count/Sum/Buckets
+// are cumulative since process start; Max is the whole-life high-water
+// mark (not resettable, so a delta's Max is the lifetime max, an upper
+// bound on the window's).
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [histBuckets]uint64
+}
+
+// SnapshotInto copies the histogram's current counters into out without
+// allocating. Each field is an independent atomic load: concurrent
+// Observes can make the copy internally skewed by the in-flight
+// samples, never torn within a field.
+func (h *Histogram) SnapshotInto(out *HistogramSnapshot) {
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	out.Max = h.max.Load()
+	for b := range out.Buckets {
+		out.Buckets[b] = h.buckets[b].Load()
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram's counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	h.SnapshotInto(&s)
+	return s
+}
+
+// DeltaSince writes cur - prev into out: the samples observed between
+// the two snapshots. Monotonic fields saturate at zero instead of
+// wrapping, so a skewed pair of concurrent snapshots can never produce
+// a garbage window. Max carries cur's lifetime high-water mark.
+func (cur *HistogramSnapshot) DeltaSince(prev, out *HistogramSnapshot) {
+	out.Count = satSub(cur.Count, prev.Count)
+	out.Sum = satSub(cur.Sum, prev.Sum)
+	out.Max = cur.Max
+	for b := range out.Buckets {
+		out.Buckets[b] = satSub(cur.Buckets[b], prev.Buckets[b])
+	}
+}
+
+// Quantile estimates the q-quantile of the snapshot's samples by bucket
+// interpolation. On a windowed delta the true max is unknown, so the
+// estimate is clamped only by the bucket bounds.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	return QuantileFromBuckets(s.Buckets[:], q, 0)
+}
+
+// satSub is a saturating uint64 subtraction.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 // LatencySummary is the fixed quantile set exported in API snapshots.

@@ -192,6 +192,117 @@ func TestHistogramQuantileClamps(t *testing.T) {
 	}
 }
 
+// TestQuantileFromBucketsExact pins the interpolation against exact
+// values on known bucket fills: with every sample in one bucket the
+// estimate must land on the interpolated position inside that bucket's
+// bounds, and multi-bucket fills must cross at the correct bucket.
+func TestQuantileFromBucketsExact(t *testing.T) {
+	mk := func(fill map[int]uint64) []uint64 {
+		b := make([]uint64, 65)
+		for i, c := range fill {
+			b[i] = c
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		buckets []uint64
+		q       float64
+		max     uint64
+		want    uint64
+	}{
+		// Bucket 3 spans [4,7]. 4 samples: q=0.25 is the 1st sample
+		// → frac 1/4 → 4 + 0.25*3 = 4 (floor).
+		{"single-bucket-q25", mk(map[int]uint64{3: 4}), 0.25, 0, 4},
+		{"single-bucket-q50", mk(map[int]uint64{3: 4}), 0.50, 0, 5},
+		{"single-bucket-q100", mk(map[int]uint64{3: 4}), 1.0, 0, 7},
+		// Bucket 1 spans [1,1]: degenerate bounds interpolate to 1.
+		{"degenerate-bucket", mk(map[int]uint64{1: 10}), 0.5, 0, 1},
+		// Bucket 0 is exactly the value 0.
+		{"zero-bucket", mk(map[int]uint64{0: 3}), 1.0, 0, 0},
+		// Two buckets, 10 samples each: q=0.5 is sample 10, the last of
+		// bucket 2 [2,3] → 2 + (10/10)*1 = 3; q=0.55 is sample 11, the
+		// first of bucket 4 [8,15] → 8 + (1/10)*7 = 8.
+		{"cross-at-boundary", mk(map[int]uint64{2: 10, 4: 10}), 0.50, 0, 3},
+		{"cross-into-next", mk(map[int]uint64{2: 10, 4: 10}), 0.55, 0, 8},
+		// Max clamp: interpolating past the true max clamps to it.
+		{"max-clamps", mk(map[int]uint64{7: 5}), 1.0, 100, 100},
+		// First of 5 samples in bucket 7 [64,127]: 64 + (1/5)*63 = 76.
+		{"max-no-clamp-below", mk(map[int]uint64{7: 5}), 0.2, 100, 76},
+		// Empty vector and q clamping.
+		{"empty", mk(nil), 0.5, 0, 0},
+		{"q-below-zero", mk(map[int]uint64{3: 4}), -1, 0, 4},
+		{"q-above-one", mk(map[int]uint64{3: 4}), 2, 0, 7},
+		{"q-nan", mk(map[int]uint64{3: 4}), math.NaN(), 0, 4},
+	}
+	for _, tc := range cases {
+		if got := QuantileFromBuckets(tc.buckets, tc.q, tc.max); got != tc.want {
+			t.Errorf("%s: QuantileFromBuckets(q=%v, max=%d) = %d, want %d",
+				tc.name, tc.q, tc.max, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramSnapshotDelta drives the Snapshot/DeltaSince pair the
+// pulse windows are built on: deltas must be the exact between-snapshot
+// fills, and the delta quantile must see only the window's samples.
+func TestHistogramSnapshotDelta(t *testing.T) {
+	h := &Histogram{}
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	prev := h.Snapshot()
+	if prev.Count != 100 || prev.Max != 100 {
+		t.Fatalf("first snapshot: count=%d max=%d", prev.Count, prev.Max)
+	}
+	// Window 2: 10 samples of exactly 1000 (bucket 10, [512,1023]).
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	var cur, delta HistogramSnapshot
+	h.SnapshotInto(&cur)
+	cur.DeltaSince(&prev, &delta)
+	if delta.Count != 10 {
+		t.Fatalf("delta count = %d, want 10", delta.Count)
+	}
+	if delta.Sum != 10*1000 {
+		t.Fatalf("delta sum = %d, want %d", delta.Sum, 10*1000)
+	}
+	for b, c := range delta.Buckets {
+		want := uint64(0)
+		if b == 10 {
+			want = 10
+		}
+		if c != want {
+			t.Fatalf("delta bucket %d = %d, want %d", b, c, want)
+		}
+	}
+	// The whole-life p50 sits in the 1..100 mass; the window's p50 must
+	// sit in bucket 10 — the first window's samples are invisible to it.
+	if q := delta.Quantile(0.5); q < 512 || q > 1023 {
+		t.Fatalf("delta p50 = %d, want within bucket 10 [512,1023]", q)
+	}
+	if q := h.Quantile(0.5); q > 200 {
+		t.Fatalf("whole-life p50 = %d, want in the 1..100 mass", q)
+	}
+	// An empty window: delta of identical snapshots is all zeros.
+	var again, empty HistogramSnapshot
+	h.SnapshotInto(&again)
+	again.DeltaSince(&again, &empty)
+	if empty.Count != 0 || empty.Sum != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatalf("empty delta not zero: %+v", empty)
+	}
+	// Saturation: a skewed (older) cur never wraps around.
+	prev.DeltaSince(&cur, &empty)
+	if empty.Count != 0 {
+		t.Fatalf("saturating delta count = %d, want 0", empty.Count)
+	}
+	// SnapshotInto is part of the pulse tick hot path: no allocation.
+	if n := testing.AllocsPerRun(100, func() { h.SnapshotInto(&cur) }); n != 0 {
+		t.Fatalf("SnapshotInto allocates %v/op, want 0", n)
+	}
+}
+
 func TestEmitSpanRoundTrip(t *testing.T) {
 	tr := NewTracer(2, 8)
 	tr.Enable()

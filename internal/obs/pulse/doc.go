@@ -1,0 +1,368 @@
+// Doc building: the versioned JSON document served at /pulse.json and
+// rendered by pmtop. BuildDoc aggregates the last N completed windows —
+// delta bucket vectors are summed before quantiling, so a multi-window
+// p99 is a real quantile of the union, not an average of averages.
+package pulse
+
+import (
+	"sort"
+
+	"pmemlog/internal/flight"
+	"pmemlog/internal/obs"
+)
+
+// DocVersion is the /pulse.json schema version. Consumers (pmtop)
+// refuse documents with a version they do not know.
+const DocVersion = 1
+
+// maxDocExemplars caps the exemplar list in one document.
+const maxDocExemplars = 8
+
+// Quantiles is a windowed latency summary: completion count and rate
+// plus interpolated quantiles of the summed delta buckets.
+type Quantiles struct {
+	Count      uint64  `json:"count"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	MeanNS     float64 `json:"mean_ns"`
+	P50NS      uint64  `json:"p50_ns"`
+	P95NS      uint64  `json:"p95_ns"`
+	P99NS      uint64  `json:"p99_ns"`
+	P999NS     uint64  `json:"p999_ns"`
+	MaxNS      uint64  `json:"max_ns"`
+}
+
+// OpDoc is one op's windowed latency summary.
+type OpDoc struct {
+	Op string `json:"op"`
+	Quantiles
+}
+
+// StageDoc is one pipeline stage's windowed latency summary plus its
+// share of the end-to-end p99 — the waterfall pmtop draws. Shares of a
+// fully-marked pipeline sum to ~1.0 of the e2e p99; a stage share that
+// dominates names the bottleneck in the paper's vocabulary (an "fwb"
+// share spike is forced-write-back pressure).
+type StageDoc struct {
+	Stage string `json:"stage"`
+	Quantiles
+	ShareP99 float64 `json:"share_p99"`
+}
+
+// ShardDoc is one shard's windowed rates and pressure gauges.
+type ShardDoc struct {
+	Shard            int     `json:"shard"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	BatchesPerSec    float64 `json:"batches_per_sec"`
+	SavesPerSec      float64 `json:"saves_per_sec"`
+	TxnsPerSec       float64 `json:"txns_per_sec"`
+	LogAppendsPerSec float64 `json:"log_appends_per_sec"`
+	LogTruncPerSec   float64 `json:"log_trunc_per_sec"`
+	FwbScansPerSec   float64 `json:"fwb_scans_per_sec"`
+	NVRAMBytesPerSec float64 `json:"nvram_bytes_per_sec"`
+	QueueLen         int     `json:"queue_len"`
+	QueueCap         int     `json:"queue_cap"`
+	LogOccupancy     float64 `json:"log_occupancy"`
+	WrapRatePerSec   float64 `json:"wrap_rate_per_sec"`
+}
+
+// SLODoc is the latency-objective burn view over the aggregated
+// windows. BurnRate is bad-fraction/budget: 1.0 consumes the error
+// budget exactly as fast as it refills; >1 is an active burn.
+type SLODoc struct {
+	ObjectiveNS int64   `json:"objective_ns"`
+	Budget      float64 `json:"budget"`
+	Total       uint64  `json:"total"`
+	Bad         uint64  `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// ExemplarDoc is one retained tail request with its stage breakdown.
+// SpanID is the wire span ID — resolvable against a flight dump
+// (pmdoctor -span). Stage durations of -1 mean the mark was missing.
+type ExemplarDoc struct {
+	SpanID  uint64 `json:"span_id"`
+	Op      string `json:"op"`
+	Shard   int    `json:"shard"`
+	Status  int    `json:"status"`
+	LatNS   int64  `json:"lat_ns"`
+	RouteNS int64  `json:"route_ns"`
+	QueueNS int64  `json:"queue_ns"`
+	ApplyNS int64  `json:"apply_ns"`
+	FwbNS   int64  `json:"fwb_ns"`
+	AckNS   int64  `json:"ack_ns"`
+}
+
+// HistoryDoc is the per-window trend over every retained window, oldest
+// first — what pmtop draws sparklines from.
+type HistoryDoc struct {
+	WindowNS         []int64   `json:"window_ns"`
+	ThroughputPerSec []float64 `json:"throughput_per_sec"`
+	WrapRatePerSec   []float64 `json:"wrap_rate_per_sec"`
+	P99NS            []uint64  `json:"p99_ns"`
+	BurnRate         []float64 `json:"burn_rate"`
+}
+
+// Doc is the /pulse.json document.
+type Doc struct {
+	Version      int    `json:"version"`
+	Addr         string `json:"addr,omitempty"`
+	Mode         string `json:"mode,omitempty"`
+	CapturedAtNS int64  `json:"captured_at_ns"`
+	UptimeNS     int64  `json:"uptime_ns"`
+	IntervalNS   int64  `json:"interval_ns"`
+	// Seq counts completed windows since start; two documents with the
+	// same Seq describe the same windows.
+	Seq uint64 `json:"seq"`
+	// WindowsAggregated is how many windows the Ops/Stages/E2E/SLO/
+	// Shards summaries cover; WindowsRetained is the history depth.
+	WindowsAggregated int `json:"windows_aggregated"`
+	WindowsRetained   int `json:"windows_retained"`
+
+	Shards    []ShardDoc    `json:"shards"`
+	Ops       []OpDoc       `json:"ops"`
+	Stages    []StageDoc    `json:"stages"`
+	E2E       Quantiles     `json:"e2e"`
+	SLO       SLODoc        `json:"slo"`
+	Exemplars []ExemplarDoc `json:"exemplars,omitempty"`
+	History   HistoryDoc    `json:"history"`
+}
+
+// addSnap accumulates src's delta buckets into dst.
+func addSnap(dst, src *obs.HistogramSnapshot) {
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+	for i := range dst.Buckets {
+		dst.Buckets[i] += src.Buckets[i]
+	}
+}
+
+// quantiles summarizes an aggregated delta snapshot over secs seconds.
+func quantiles(s *obs.HistogramSnapshot, secs float64) Quantiles {
+	q := Quantiles{Count: s.Count, MaxNS: s.Max}
+	if secs > 0 {
+		q.RatePerSec = float64(s.Count) / secs
+	}
+	if s.Count > 0 {
+		q.MeanNS = float64(s.Sum) / float64(s.Count)
+		q.P50NS = s.Quantile(0.50)
+		q.P95NS = s.Quantile(0.95)
+		q.P99NS = s.Quantile(0.99)
+		q.P999NS = s.Quantile(0.999)
+		// Intra-bucket interpolation can land above the true observed max
+		// (the top bucket spans up to 2× the largest value in it); the
+		// exact max is tracked, so cap the tail quantiles there.
+		if q.MaxNS > 0 {
+			for _, p := range []*uint64{&q.P50NS, &q.P95NS, &q.P99NS, &q.P999NS} {
+				if *p > q.MaxNS {
+					*p = q.MaxNS
+				}
+			}
+		}
+	}
+	return q
+}
+
+// BuildDoc aggregates the last `over` completed windows (clamped to
+// what the ring retains; over<=0 means one window) into a Doc. Called
+// off the hot path by the HTTP handler and tests; allocates freely.
+func (c *Collector) BuildDoc(over int) *Doc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	d := &Doc{
+		Version:      DocVersion,
+		CapturedAtNS: c.cfg.NowNS(),
+		IntervalNS:   int64(c.cfg.Interval),
+		Seq:          c.pos,
+	}
+	d.UptimeNS = d.CapturedAtNS
+	ret := c.retained()
+	d.WindowsRetained = ret
+	if ret == 0 {
+		d.Shards = make([]ShardDoc, 0)
+		d.Ops = make([]OpDoc, 0)
+		d.Stages = make([]StageDoc, 0)
+		return d
+	}
+	if over <= 0 {
+		over = 1
+	}
+	if over > ret {
+		over = ret
+	}
+	d.WindowsAggregated = over
+
+	// windowAt(k) = the k-th most recent completed window (k=0 newest).
+	windowAt := func(k int) *window {
+		return &c.ring[(c.pos-1-uint64(k))%uint64(len(c.ring))]
+	}
+
+	// Aggregate the last `over` windows.
+	opAgg := make([]obs.HistogramSnapshot, len(c.ops))
+	stageAgg := make([]obs.HistogramSnapshot, len(c.stages))
+	var e2eAgg obs.HistogramSnapshot
+	var sloTotal, sloBad uint64
+	shardAgg := make([]shardWindow, c.cfg.Shards)
+	var spanNS int64
+	exemplars := make([]Exemplar, 0, over*MaxExemplars)
+	for k := 0; k < over; k++ {
+		w := windowAt(k)
+		spanNS += w.endNS - w.startNS
+		for i := range w.ops {
+			addSnap(&opAgg[i], &w.ops[i])
+		}
+		for i := range w.stages {
+			addSnap(&stageAgg[i], &w.stages[i])
+		}
+		addSnap(&e2eAgg, &w.e2e)
+		sloTotal += w.sloTotal
+		sloBad += w.sloBad
+		for i := range w.shards {
+			sw, a := &w.shards[i], &shardAgg[i]
+			a.requests += sw.requests
+			a.batches += sw.batches
+			a.saves += sw.saves
+			a.txns += sw.txns
+			a.logAppends += sw.logAppends
+			a.logTruncated += sw.logTruncated
+			a.fwbScans += sw.fwbScans
+			a.nvramBytes += sw.nvramBytes
+			a.wrap += sw.wrap
+			if k == 0 { // gauges: newest window wins
+				a.queueLen, a.queueCap, a.occupancy = sw.queueLen, sw.queueCap, sw.occupancy
+			}
+		}
+		exemplars = append(exemplars, w.exemplars[:w.exN]...)
+	}
+	secs := float64(spanNS) / 1e9
+
+	d.E2E = quantiles(&e2eAgg, secs)
+	d.Ops = make([]OpDoc, len(c.ops))
+	for i := range c.ops {
+		d.Ops[i] = OpDoc{Op: c.ops[i].name, Quantiles: quantiles(&opAgg[i], secs)}
+	}
+	d.Stages = make([]StageDoc, len(c.stages))
+	for i := range c.stages {
+		d.Stages[i] = StageDoc{Stage: c.stages[i].name, Quantiles: quantiles(&stageAgg[i], secs)}
+		if d.E2E.P99NS > 0 {
+			d.Stages[i].ShareP99 = float64(d.Stages[i].P99NS) / float64(d.E2E.P99NS)
+		}
+	}
+	d.Shards = make([]ShardDoc, c.cfg.Shards)
+	for i := range shardAgg {
+		a := &shardAgg[i]
+		sd := ShardDoc{
+			Shard:        i,
+			QueueLen:     a.queueLen,
+			QueueCap:     a.queueCap,
+			LogOccupancy: a.occupancy,
+		}
+		if secs > 0 {
+			sd.ThroughputPerSec = float64(a.requests) / secs
+			sd.BatchesPerSec = float64(a.batches) / secs
+			sd.SavesPerSec = float64(a.saves) / secs
+			sd.TxnsPerSec = float64(a.txns) / secs
+			sd.LogAppendsPerSec = float64(a.logAppends) / secs
+			sd.LogTruncPerSec = float64(a.logTruncated) / secs
+			sd.FwbScansPerSec = float64(a.fwbScans) / secs
+			sd.NVRAMBytesPerSec = float64(a.nvramBytes) / secs
+			sd.WrapRatePerSec = a.wrap / secs
+		}
+		d.Shards[i] = sd
+	}
+	d.SLO = SLODoc{
+		ObjectiveNS: c.cfg.SLOLatencyNS,
+		Budget:      c.cfg.SLOBudget,
+		Total:       sloTotal,
+		Bad:         sloBad,
+	}
+	if sloTotal > 0 {
+		d.SLO.BadFraction = float64(sloBad) / float64(sloTotal)
+		d.SLO.BurnRate = d.SLO.BadFraction / c.cfg.SLOBudget
+	}
+
+	// Slowest exemplars across the aggregated windows, slowest first.
+	sort.Slice(exemplars, func(a, b int) bool { return exemplars[a].LatNS > exemplars[b].LatNS })
+	if len(exemplars) > maxDocExemplars {
+		exemplars = exemplars[:maxDocExemplars]
+	}
+	for i := range exemplars {
+		d.Exemplars = append(d.Exemplars, exemplarDoc(&exemplars[i]))
+	}
+
+	// History over every retained window, oldest first.
+	d.History = HistoryDoc{
+		WindowNS:         make([]int64, ret),
+		ThroughputPerSec: make([]float64, ret),
+		WrapRatePerSec:   make([]float64, ret),
+		P99NS:            make([]uint64, ret),
+		BurnRate:         make([]float64, ret),
+	}
+	for k := 0; k < ret; k++ {
+		w := windowAt(ret - 1 - k)
+		dur := w.endNS - w.startNS
+		d.History.WindowNS[k] = dur
+		wsecs := float64(dur) / 1e9
+		var reqs uint64
+		var wrapMax float64
+		for i := range w.shards {
+			reqs += w.shards[i].requests
+			if w.shards[i].wrap > wrapMax {
+				wrapMax = w.shards[i].wrap
+			}
+		}
+		if wsecs > 0 {
+			d.History.ThroughputPerSec[k] = float64(reqs) / wsecs
+			d.History.WrapRatePerSec[k] = wrapMax / wsecs
+		}
+		if w.e2e.Count > 0 {
+			d.History.P99NS[k] = w.e2e.Quantile(0.99)
+		}
+		if w.sloTotal > 0 {
+			d.History.BurnRate[k] = float64(w.sloBad) / float64(w.sloTotal) / c.cfg.SLOBudget
+		}
+	}
+	return d
+}
+
+// exemplarDoc flattens a retained span into the document form via the
+// latency-stage decomposition (missing marks become -1).
+func exemplarDoc(e *Exemplar) ExemplarDoc {
+	var st [flight.NumLatStages]int64
+	e.Span.StageDurations(&st)
+	return ExemplarDoc{
+		SpanID:  e.Span.ID,
+		Op:      opName(e.Span.Op),
+		Shard:   e.Span.Shard,
+		Status:  e.Span.Status,
+		LatNS:   e.LatNS,
+		RouteNS: st[flight.LatRoute],
+		QueueNS: st[flight.LatQueue],
+		ApplyNS: st[flight.LatApply],
+		FwbNS:   st[flight.LatFWB],
+		AckNS:   st[flight.LatAck],
+	}
+}
+
+// opName maps a wire opcode to its display name (matches pmdoctor).
+func opName(op uint8) string {
+	switch op {
+	case 0x01:
+		return "get"
+	case 0x02:
+		return "put"
+	case 0x03:
+		return "del"
+	case 0x04:
+		return "txn"
+	case 0x05:
+		return "stats"
+	case 0x06:
+		return "metrics"
+	}
+	return "other"
+}

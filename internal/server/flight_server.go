@@ -120,32 +120,45 @@ type healthShard struct {
 	Occupancy float64 `json:"log_occupancy"` // live window / capacity
 }
 
-// healthReport is the /healthz JSON body.
+// healthReport is the /healthz JSON body. Status is "ok", "degraded"
+// (still serving — HTTP 200 — but a windowed pressure threshold fired;
+// Reasons says which), or "draining" (HTTP 503).
 type healthReport struct {
 	OK       bool          `json:"ok"`
+	Status   string        `json:"status"`
+	Reasons  []string      `json:"reasons,omitempty"`
 	Draining bool          `json:"draining"`
 	Mode     string        `json:"mode"`
 	UptimeNS int64         `json:"uptime_ns"`
 	Shards   []healthShard `json:"shards"`
 }
 
-// serveHTTP runs the readiness listener until it is closed.
+// serveHTTP runs the operator HTTP listener until it is closed.
 func (s *Server) serveHTTP(ln net.Listener) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/pulse.json", s.pulseJSON)
+	mux.HandleFunc("/metrics", s.metricsHTTP)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	srv.Serve(ln)
 }
 
 // healthz answers readiness from published state only (no shard probe):
 // 200 while serving, 503 once draining. Wrap pressure per shard comes
-// from the loop-published log pointers, the same view a dump captures.
+// from the loop-published log pointers, the same view a dump captures;
+// the degraded gate reads the pulse collector's latest completed window
+// (a sustained view — a single busy batch cannot flap health), and
+// before the first window closes the server is simply "ok".
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	rep := healthReport{
 		OK:       !s.draining.Load(),
+		Status:   "ok",
 		Draining: s.draining.Load(),
 		Mode:     s.cfg.Mode.String(),
 		UptimeNS: int64(s.nowNS()),
+	}
+	if rep.Draining {
+		rep.Status = "draining"
 	}
 	for _, sh := range s.shards {
 		st := flight.ShardState{
@@ -161,6 +174,23 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 			LogPass:   st.Pass(),
 			Occupancy: st.Occupancy(),
 		})
+		if rep.Draining {
+			continue
+		}
+		if wrap, queueFrac, _, ok := s.pulse.ShardPressure(sh.id); ok {
+			if wrap > s.cfg.DegradedWrapRate {
+				rep.Status = "degraded"
+				rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+					"shard %d: log wrap rate %.2f passes/s over threshold %.2f (reclamation pressure)",
+					sh.id, wrap, s.cfg.DegradedWrapRate))
+			}
+			if queueFrac > s.cfg.DegradedQueue {
+				rep.Status = "degraded"
+				rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+					"shard %d: queue %.0f%% full over threshold %.0f%%",
+					sh.id, 100*queueFrac, 100*s.cfg.DegradedQueue))
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if !rep.OK {

@@ -134,6 +134,7 @@ func (s *Server) metricsResponse() Response {
 	set("pmserver_span_drops", "", "requests not span-tracked because the flight table was full", s.flight.Drops())
 	set("pmserver_spans_in_flight", "", "request spans currently in flight", uint64(s.flight.InFlightCount()))
 	set("pmserver_slow_spans_captured", "", "slow-request span snapshots retained by tail sampling", s.flight.SlowCaptured())
+	s.pulseGauges()
 	var buf bytes.Buffer
 	if err := s.reg.WritePrometheus(&buf); err != nil {
 		return Response{Status: StatusErr, Err: err.Error()}

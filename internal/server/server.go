@@ -16,6 +16,7 @@ import (
 	"pmemlog/internal/chaos"
 	"pmemlog/internal/flight"
 	"pmemlog/internal/obs"
+	"pmemlog/internal/obs/pulse"
 	"pmemlog/internal/sim"
 	"pmemlog/internal/txn"
 )
@@ -61,9 +62,30 @@ type Config struct {
 	SlowSpans     int
 	SlowThreshold time.Duration
 
-	// HTTPAddr, when non-empty, serves the /healthz readiness endpoint
-	// on a plain HTTP listener (e.g. "127.0.0.1:8080").
+	// HTTPAddr, when non-empty, serves the operator HTTP surface
+	// (/healthz readiness, /pulse.json live telemetry, /metrics) on a
+	// plain HTTP listener (e.g. "127.0.0.1:8080").
 	HTTPAddr string
+
+	// Pulse telemetry (internal/obs/pulse): PulseInterval is the window
+	// width the live collector ticks at (default 1s); PulseWindows is
+	// how many completed windows the ring retains (default 64).
+	PulseInterval time.Duration
+	PulseWindows  int
+
+	// Latency objective: SLOLatency is the end-to-end target (default
+	// 20ms) and SLOBudget the allowed fraction of data requests over it
+	// (default 0.001). /pulse.json reports burn rate against these.
+	SLOLatency time.Duration
+	SLOBudget  float64
+
+	// Degraded-health thresholds, evaluated per shard over the latest
+	// pulse window: /healthz stays 200 but reports status "degraded"
+	// when the windowed wrap rate (log passes/sec) or the queue fill
+	// fraction crosses these. Zeros take defaults (1.0 passes/sec,
+	// 0.9 queue fill).
+	DegradedWrapRate float64
+	DegradedQueue    float64
 
 	// Chaos, when non-nil, arms deterministic network-fault injection
 	// (conn drops mid-window, delayed/duplicated acks, spurious retry
@@ -120,6 +142,24 @@ func (c Config) withDefaults() Config {
 	if c.SlowThreshold == 0 {
 		c.SlowThreshold = 10 * time.Millisecond
 	}
+	if c.PulseInterval <= 0 {
+		c.PulseInterval = time.Second
+	}
+	if c.PulseWindows <= 0 {
+		c.PulseWindows = 64
+	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 20 * time.Millisecond
+	}
+	if c.SLOBudget <= 0 {
+		c.SLOBudget = 0.001
+	}
+	if c.DegradedWrapRate <= 0 {
+		c.DegradedWrapRate = 1.0
+	}
+	if c.DegradedQueue <= 0 {
+		c.DegradedQueue = 0.9
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -171,6 +211,16 @@ type Server struct {
 	opHist   map[byte]*obs.Histogram
 	opCount  map[byte]*obs.Counter
 	mRetries *obs.Counter
+
+	// Pulse telemetry (see pulse_server.go): the windowed collector, the
+	// stage/e2e histograms the conn writers fold finished spans into,
+	// and the SLO counters. pulseStop ends the ticker goroutine.
+	pulse     *pulse.Collector
+	pulseStop chan struct{}
+	stageHist [flight.NumLatStages]*obs.Histogram
+	e2eHist   *obs.Histogram
+	sloTotal  *obs.Counter
+	sloBad    *obs.Counter
 
 	// Flight recorder (see flight_server.go): the in-flight span table
 	// and the optional /healthz HTTP listener. dumpMu serializes dump
@@ -270,6 +320,8 @@ func Start(cfg Config) (*Server, error) {
 		s.shards = append(s.shards, sh)
 	}
 
+	s.initPulse()
+
 	if cfg.HTTPAddr != "" {
 		hln, err := net.Listen("tcp", cfg.HTTPAddr)
 		if err != nil {
@@ -289,6 +341,7 @@ func Start(cfg Config) (*Server, error) {
 	for _, sh := range s.shards {
 		go sh.loop()
 	}
+	go s.pulse.Run(s.pulseStop)
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	cfg.Logger.Printf("pmserver: serving on %s (%d shards, mode %s, dir %s)",
@@ -445,14 +498,9 @@ func (s *Server) connWriter(c net.Conn, out chan *connReq, tokens chan struct{},
 	defer close(done)
 	wroteErr := false
 	for cr := range out {
-		if h := s.opHist[cr.code]; h != nil {
-			h.Observe(uint64(time.Since(cr.start)))
-		}
-		// The span's ack point is the response reaching the writer; Finish
-		// recycles the slot (and tail-samples slow requests), so the span
-		// must not be touched after this.
-		s.flight.Finish(cr.span, cr.resp.Status, int64(s.nowNS()))
-		cr.span, cr.spanTag = nil, 0
+		// Latency series, SLO accounting, pulse exemplar offer, and span
+		// release (see pulse_server.go).
+		s.observeFinish(cr)
 		if !wroteErr {
 			if s.chaosNet.Hit(chaos.SiteConnDrop, uint64(cr.code)) {
 				// Chaos: the connection dies mid-pipeline-window, before
@@ -728,6 +776,7 @@ func (s *Server) Shutdown() error {
 	var err error
 	s.stopOnce.Do(func() {
 		s.draining.Store(true)
+		close(s.pulseStop)
 		s.ln.Close()
 		if s.httpLn != nil {
 			s.httpLn.Close()
@@ -755,6 +804,7 @@ func (s *Server) Shutdown() error {
 func (s *Server) Kill() {
 	s.stopOnce.Do(func() {
 		s.draining.Store(true)
+		close(s.pulseStop)
 		s.ln.Close()
 		if s.httpLn != nil {
 			s.httpLn.Close()

@@ -89,6 +89,21 @@ type shard struct {
 	pubTail  atomic.Uint64
 	pubCap   atomic.Uint64
 	logBases []uint64
+
+	// Published activity counters for the pulse sampler, refreshed with
+	// the log state: the loop-owned counters above plus the machine's
+	// cheap cumulative counters (sim.PulseCounters — the full Stats()
+	// probe sorts a latency window and is too heavy for per-batch use).
+	// pulseScratch is loop-owned.
+	pubRequests   atomic.Uint64
+	pubBatches    atomic.Uint64
+	pubSaves      atomic.Uint64
+	pubTxns       atomic.Uint64
+	pubLogAppends atomic.Uint64
+	pubLogTrunc   atomic.Uint64
+	pubFwbScans   atomic.Uint64
+	pubNVRAMBytes atomic.Uint64
+	pulseScratch  sim.PulseCounters
 }
 
 // newShard builds (or re-attaches) one shard.
@@ -136,13 +151,25 @@ func newShard(id int, cfg sim.Config, nBuckets uint64, dir string, queueDepth, b
 	return sh, nil
 }
 
-// publishLogState refreshes the atomically-published wrap-pressure view
-// (loop goroutine, or newShard before the loop starts).
+// publishLogState refreshes the atomically-published wrap-pressure and
+// activity view (loop goroutine, or newShard before the loop starts).
+// This is the only bridge between the loop-owned machine and concurrent
+// readers (flight dumps, /healthz, the pulse sampler): plain stores,
+// no allocation, no obs calls.
 func (sh *shard) publishLogState() {
 	head, tail, capacity := sh.sys.LogState()
 	sh.pubHead.Store(head)
 	sh.pubTail.Store(tail)
 	sh.pubCap.Store(capacity)
+	sh.sys.PulseCounters(&sh.pulseScratch)
+	sh.pubRequests.Store(sh.requests)
+	sh.pubBatches.Store(sh.batches)
+	sh.pubSaves.Store(sh.saves)
+	sh.pubTxns.Store(sh.pulseScratch.Transactions)
+	sh.pubLogAppends.Store(sh.pulseScratch.LogAppends)
+	sh.pubLogTrunc.Store(sh.pulseScratch.LogTruncated)
+	sh.pubFwbScans.Store(sh.pulseScratch.FwbScans)
+	sh.pubNVRAMBytes.Store(sh.pulseScratch.NVRAMWriteBytes)
 }
 
 // save persists the high-water mark and the DIMM image atomically. The
@@ -233,6 +260,7 @@ func (sh *shard) runBatch(batch []*request) {
 		resps[i] = Response{}
 	}
 	wrote := false
+	anySpan := false
 	runErr := sh.sys.RunN(func(ctx sim.Ctx, _ int) {
 		for i, r := range batch {
 			if r.req == nil {
@@ -256,6 +284,7 @@ func (sh *shard) runBatch(batch []*request) {
 				sh.sys.SetSpan(tag)
 			}
 			if sp != nil {
+				anySpan = true
 				sp.Mark(flight.StageApply, int64(sh.nowNS()))
 				_, tailBefore, _ = sh.sys.LogState()
 				_, _, commitBefore = sh.sys.LastCommit()
@@ -280,7 +309,28 @@ func (sh *shard) runBatch(batch []*request) {
 			}
 		}
 	})
+	// FWB and durable are batch-granular points, stamped on every spanned
+	// request: the machine run (txns + log appends) ends here, and settle
+	// is the batch's durability point (FWB drain + image persist). The
+	// marks bracket exactly the interval the pulse waterfall attributes
+	// to the "apply" and "fwb" latency stages.
+	if anySpan {
+		fwbNS := int64(sh.nowNS())
+		for _, r := range batch {
+			if r.pr != nil && r.pr.span != nil {
+				r.pr.span.Mark(flight.StageFWB, fwbNS)
+			}
+		}
+	}
 	sh.settle(runErr, wrote, batch, resps)
+	if anySpan {
+		durNS := int64(sh.nowNS())
+		for _, r := range batch {
+			if r.pr != nil && r.pr.span != nil {
+				r.pr.span.Mark(flight.StageDurable, durNS)
+			}
+		}
+	}
 	sh.publishLogState()
 	for i, r := range batch {
 		if r.stats != nil {

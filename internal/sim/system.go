@@ -114,6 +114,39 @@ func (s *System) LogState() (head, tail, capacity uint64) {
 	return l.Head(), l.Tail(), l.Capacity()
 }
 
+// PulseCounters is the cheap monotonic-activity sample a server shard
+// publishes after every batch: the handful of counters the pulse
+// telemetry windows into rates. A subset of Stats() chosen so sampling
+// allocates nothing and touches no percentile math — Stats() copies
+// and sorts the latency window, which is far too heavy for a per-batch
+// publish inside the zero-alloc shard loop.
+type PulseCounters struct {
+	Transactions    uint64 // committed machine transactions
+	LogAppends      uint64 // undo+redo records appended
+	LogTruncated    uint64 // records reclaimed by head advance
+	FwbScans        uint64 // forced write-back scans completed
+	NVRAMWriteBytes uint64 // bytes written to simulated NVRAM
+}
+
+// PulseCounters samples the machine's monotonic counters into out
+// without allocating. Only meaningful from the goroutine that runs the
+// workload (the same ownership contract as Stats).
+func (s *System) PulseCounters(out *PulseCounters) {
+	out.Transactions = s.committedTxns
+	out.NVRAMWriteBytes = s.nv.Stats().BytesWritten
+	if s.eng != nil {
+		es := s.eng.Stats()
+		out.LogAppends = es.Records
+		out.LogTruncated = es.Truncated
+		out.FwbScans = es.ScansRun
+	} else {
+		out.LogAppends, out.LogTruncated, out.FwbScans = 0, 0, 0
+	}
+	if s.swLog != nil {
+		out.LogAppends = s.swLog.Stats().Appends
+	}
+}
+
 // AttachTracer allocates an event tracer sized for this machine (one
 // ring per hardware thread plus a machine ring, perRing records each),
 // wires it through every layer, and returns it disabled; call Enable
