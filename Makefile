@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet pmlint pmlint-flow trace trace-test bench-baseline perf doctor chaos pulse ci
+.PHONY: all build test race lint fmt vet pmlint pmlint-flow trace trace-test bench-baseline perf doctor chaos pulse scope ci
 
 all: build test
 
@@ -93,4 +93,16 @@ pulse:
 	$(GO) test ./internal/server -run 'TestPulseEndToEnd|TestHealthzDegraded' -count=1
 	$(GO) test ./cmd/pmtop -run 'TestRenderFixture|TestOnceAgainstLiveServer' -count=1
 
-ci: build lint pmlint-flow test race trace-test perf doctor chaos pulse
+# scope is the persistence-cost accounting gate (DESIGN.md §16): the
+# scope ledger unit tests (zero-alloc steady state under race included),
+# the /pulse.json v2 golden round-trip + v1 decode compat + wrap
+# forecast, the live e2e (zipfian coalescible above uniform; wrap
+# forecast within ±25% of an observed wrap), and the pmscope/pmtop
+# analyzer surfaces.
+scope:
+	$(GO) test -race ./internal/obs/scope -count=1
+	$(GO) test ./internal/obs/pulse -run 'TestScopeGoldenRoundTrip|TestDocDecodeV1Compat|TestScopeWrapForecast' -count=1
+	$(GO) test ./internal/server -run 'TestScopeCoalescibleZipfVsUniform|TestScopeWrapForecastLive' -count=1
+	$(GO) test ./cmd/pmscope ./cmd/pmtop -count=1
+
+ci: build lint pmlint-flow test race trace-test perf doctor chaos pulse scope

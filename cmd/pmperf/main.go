@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -51,11 +52,24 @@ type runResult struct {
 	Maxus     float64 `json:"max_us"`
 }
 
+// wrapResult is the wrap-pressure cell: a put-only run against a
+// deliberately small log, so the circular log wraps continuously and
+// the measured throughput includes sustained truncation/reclaim work
+// (the paper's log-pressure regime) instead of the roomy steady state
+// the main cells run in.
+type wrapResult struct {
+	runResult
+	LogBytes       int64   `json:"log_bytes"`
+	LogWraps       uint64  `json:"log_wraps"` // completed passes, summed over shards
+	WrapRatePerSec float64 `json:"wrap_rate_per_sec"`
+}
+
 type report struct {
-	Config    runConfig `json:"config"`
-	Baseline  runResult `json:"baseline"`
-	Pipelined runResult `json:"pipelined"`
-	Speedup   float64   `json:"speedup"`
+	Config       runConfig   `json:"config"`
+	Baseline     runResult   `json:"baseline"`
+	Pipelined    runResult   `json:"pipelined"`
+	Speedup      float64     `json:"speedup"`
+	WrapPressure *wrapResult `json:"wrap_pressure,omitempty"`
 }
 
 func main() {
@@ -69,6 +83,7 @@ func main() {
 		duration   = flag.Duration("duration", 2*time.Second, "measurement duration per run")
 		shards     = flag.Int("shards", 4, "shards for the in-process server")
 		out        = flag.String("o", "BENCH_wall.json", "output JSON path (empty = stdout only)")
+		wrapLog    = flag.Int64("wrap-log-bytes", 16<<10, "log size for the wrap-pressure cell (0 disables; skipped with -addr)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to file on exit")
 	)
@@ -125,6 +140,15 @@ func main() {
 	rep.Pipelined = runLoad(target, *conns, *window, keyset, val, getPct, putPct, *duration)
 	if rep.Baseline.OpsPerSec > 0 {
 		rep.Speedup = rep.Pipelined.OpsPerSec / rep.Baseline.OpsPerSec
+	}
+	if *addr == "" && *wrapLog > 0 {
+		fmt.Fprintf(os.Stderr, "pmperf: wrap pressure (put-only, %dKiB log, window %d, %d conns, %v)...\n",
+			*wrapLog>>10, *window, *conns, *duration)
+		wp, err := runWrapPressure(*conns, *window, keyset, val, *duration, *wrapLog, *shards)
+		if err != nil {
+			log.Fatalf("pmperf: wrap pressure: %v", err)
+		}
+		rep.WrapPressure = wp
 	}
 
 	b, _ := json.MarshalIndent(rep, "", "  ")
@@ -189,6 +213,69 @@ func preload(addr string, keys [][]byte, val []byte) error {
 		}(call)
 	}
 	return c.Flush()
+}
+
+// runWrapPressure boots a dedicated in-process server with a small log
+// and drives a put-only load through it, measuring throughput while the
+// circular log wraps continuously. Wrap passes come from /healthz —
+// the same published log pointers pmtop's wrap forecast reads.
+func runWrapPressure(conns, window int, keys [][]byte, val []byte, d time.Duration, logBytes int64, shards int) (*wrapResult, error) {
+	dir, err := os.MkdirTemp("", "pmperf-wrap-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.Start(server.Config{
+		Addr:     "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+		Dir:      dir,
+		Shards:   shards,
+		LogBytes: uint64(logBytes),
+		Logger:   log.New(os.Stderr, "", 0),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown()
+	if err := preload(srv.Addr(), keys, val); err != nil {
+		return nil, err
+	}
+
+	passes := func() (uint64, error) {
+		resp, err := http.Get("http://" + srv.HTTPAddr() + "/healthz")
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var rep struct {
+			Shards []struct {
+				LogPass uint64 `json:"log_pass"`
+			} `json:"shards"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			return 0, err
+		}
+		var sum uint64
+		for _, sh := range rep.Shards {
+			sum += sh.LogPass
+		}
+		return sum, nil
+	}
+	before, err := passes()
+	if err != nil {
+		return nil, err
+	}
+	res := runLoad(srv.Addr(), conns, window, keys, val, 0, 100, d)
+	after, err := passes()
+	if err != nil {
+		return nil, err
+	}
+
+	wp := &wrapResult{runResult: res, LogBytes: logBytes, LogWraps: after - before}
+	if res.Seconds > 0 {
+		wp.WrapRatePerSec = float64(wp.LogWraps) / res.Seconds
+	}
+	return wp, nil
 }
 
 // inflight pairs an issued call with its submit time for the collector.

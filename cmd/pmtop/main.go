@@ -161,6 +161,13 @@ func render(w io.Writer, d *pulse.Doc, width int) {
 			ns(op.P50NS), ns(op.P95NS), ns(op.P99NS), ns(op.P999NS), ns(op.MaxNS))
 	}
 
+	// Persistence: the scope cost-accounting panel — write-amplification
+	// bar per shard (scaled to the worst shard), coalescible fraction,
+	// and the wrap forecast. This is the paper's economics live: how many
+	// NVRAM bytes each payload byte really costs, and how long the
+	// circular log can absorb it.
+	renderScope(w, d, width)
+
 	// Stage waterfall: where the e2e p99 is spent. Bars scale to the
 	// whole e2e p99, so stacked lengths read as shares of the tail.
 	fmt.Fprintf(w, "\nSTAGES (e2e p99 %s, share of tail)\n", ns(d.E2E.P99NS))
@@ -201,6 +208,59 @@ func render(w io.Writer, d *pulse.Doc, width int) {
 				nsOpt(ex.RouteNS), nsOpt(ex.QueueNS), nsOpt(ex.ApplyNS), nsOpt(ex.FwbNS), nsOpt(ex.AckNS))
 		}
 	}
+}
+
+// renderScope draws the persistence panel from the document's scope
+// section.
+func renderScope(w io.Writer, d *pulse.Doc, width int) {
+	sc := &d.Scope
+	if len(sc.Shards) == 0 {
+		return
+	}
+	var maxAmp float64
+	for _, s := range sc.Shards {
+		if s.WriteAmp > maxAmp {
+			maxAmp = s.WriteAmp
+		}
+	}
+	fmt.Fprintf(w, "\nPERSISTENCE  amp %.2fx  payload %s/s  log %s/s  wb %s/s  coalescible %.1f%%\n",
+		sc.WriteAmp, bytesHuman(sc.PayloadBytesPerSec), bytesHuman(sc.LogBytesPerSec),
+		bytesHuman(sc.WBBytesPerSec), 100*sc.CoalescibleFraction)
+	barW := width - 54
+	for _, s := range sc.Shards {
+		frac := 0.0
+		if maxAmp > 0 {
+			frac = s.WriteAmp / maxAmp
+		}
+		fmt.Fprintf(w, "  %3d amp %6.2fx %s  coal %4.1f%%  wrap %s  live %d\n",
+			s.Shard, s.WriteAmp, bar(frac, barW),
+			100*s.CoalescibleFraction, etaHuman(s.WrapETASeconds), s.LiveRecords)
+	}
+}
+
+// bytesHuman formats a bytes-per-second rate compactly.
+func bytesHuman(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// etaHuman formats a forecast in seconds; negative means unknown.
+func etaHuman(secs float64) string {
+	if secs < 0 {
+		return "-"
+	}
+	if secs < 10 {
+		return fmt.Sprintf("%.1fs", secs)
+	}
+	return (time.Duration(secs) * time.Second).Truncate(time.Second).String()
 }
 
 // bar renders a fill fraction as a fixed-width block bar.

@@ -35,6 +35,18 @@ func fixtureDoc() *pulse.Doc {
 			{Stage: "fwb", Quantiles: pulse.Quantiles{Count: 18000, P99NS: 890_000}, ShareP99: 0.64},
 			{Stage: "ack", Quantiles: pulse.Quantiles{Count: 18000, P99NS: 45_000}, ShareP99: 0.032},
 		},
+		Scope: pulse.ScopeDoc{
+			WriteAmp: 5.21, PayloadBytesPerSec: 28_800, LogBytesPerSec: 115_200,
+			WBBytesPerSec: 34_816, CoalescibleFraction: 0.31,
+			Shards: []pulse.ScopeShardDoc{
+				{Shard: 0, WriteAmp: 6.4, TxnWriteAmpMean: 4.8, CoalescibleFraction: 0.42,
+					WastedForcedFraction: 0.1, LiveRecords: 910, ReplayEstRecords: 910,
+					WrapETASeconds: 42.5, FullETASeconds: 130},
+				{Shard: 1, WriteAmp: 4.1, TxnWriteAmpMean: 3.9, CoalescibleFraction: 0.2,
+					LiveRecords: 340, ReplayEstRecords: 340,
+					WrapETASeconds: -1, FullETASeconds: -1},
+			},
+		},
 		E2E: pulse.Quantiles{Count: 18000, RatePerSec: 3600, P50NS: 200_000, P99NS: 1_390_000},
 		SLO: pulse.SLODoc{ObjectiveNS: 20_000_000, Budget: 0.001, Total: 18000, Bad: 2, BadFraction: 2.0 / 18000, BurnRate: 0.11},
 		Exemplars: []pulse.ExemplarDoc{
@@ -67,6 +79,8 @@ func TestRenderFixture(t *testing.T) {
 	for _, want := range []string{
 		"pmserver 127.0.0.1:7070  mode=fwb",
 		"SHARDS", "OPS", "STAGES (e2e p99 1390µs", "TREND", "SLO", "SLOWEST",
+		"PERSISTENCE  amp 5.21x  payload 28.1KiB/s  log 112.5KiB/s  wb 34.0KiB/s  coalescible 31.0%",
+		"  6.40x", "wrap 42s", "wrap -", "coal 42.0%", "live 910",
 		"fwb     ", "890µs", "64.0%",
 		"8589934612 put shard 0: 2600µs = 4000ns+900µs+310µs+1370µs+16µs",
 		"= 5000ns+700µs+400µs+-+-", // missing marks render as "-"

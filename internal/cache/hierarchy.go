@@ -6,6 +6,7 @@ import (
 	"pmemlog/internal/chaos"
 	"pmemlog/internal/mem"
 	"pmemlog/internal/obs"
+	"pmemlog/internal/obs/scope"
 )
 
 // Backing is the memory side of the hierarchy (implemented by the memory
@@ -88,11 +89,20 @@ type Hierarchy struct {
 	// forced write-backs: the scan skips the line, which stays dirty
 	// and flagged for the next pass.
 	chaos *chaos.Injector
+
+	// scope is the persistence-domain cost ledger (nil = unscoped). The
+	// hierarchy reports forced write-backs, line re-dirties (for the
+	// wasted-flush detector), and scan-pass boundaries.
+	scope *scope.Counters
 }
 
 // SetChaos arms (or with nil disarms) the fault injector (pmlint's
 // chaosonly rule confines callers to the sim layer).
 func (h *Hierarchy) SetChaos(in *chaos.Injector) { h.chaos = in }
+
+// SetScope attaches (or with nil detaches) the persistence-domain cost
+// ledger.
+func (h *Hierarchy) SetScope(c *scope.Counters) { h.scope = c }
 
 // SetTracer attaches (or with nil detaches) the obs tracer. ring is
 // the ring index scan events land in (the machine ring by convention —
@@ -117,6 +127,7 @@ func NewHierarchy(cfg HierarchyConfig, backing Backing) (*Hierarchy, error) {
 		}
 		h.backing.WriteBackLine(h.fwbNow, addr, data)
 		h.fwbForced++
+		h.scope.NoteForcedWB(uint64(addr))
 		h.tracer.Emit(h.traceRing, h.fwbNow, obs.KindFwbForced, 0, uint64(addr))
 		return true
 	}
@@ -279,6 +290,9 @@ func (h *Hierarchy) StoreWord(now uint64, core int, addr mem.Addr, w mem.Word) (
 func (h *Hierarchy) markDirtyOwned(core int, addr mem.Addr) {
 	h.l1[core].MarkDirty(addr)
 	h.l2.CleanLine(addr)
+	// A line the FWB scanner just forced out and that re-dirties before
+	// the next pass made that flush wasted NVRAM traffic.
+	h.scope.NoteDirtied(uint64(addr.Line()))
 }
 
 // FetchForStore performs the write-allocate half of a store: the line is
@@ -352,6 +366,7 @@ func (h *Hierarchy) DirtyAnywhere(addr mem.Addr) bool {
 // this is the paper's ~3.6% tag-scanning overhead (Section VI).
 func (h *Hierarchy) FwbScan(now uint64) {
 	h.fwbNow, h.fwbForced = now, 0
+	h.scope.NoteScan()
 	flagged0 := h.flaggedTotal()
 	for i, c := range h.l1 {
 		cost := c.FwbScan(h.fwbCB)
@@ -364,6 +379,12 @@ func (h *Hierarchy) FwbScan(now uint64) {
 		h.tracer.Emit(h.traceRing, now, obs.KindFwbScan, 0, h.fwbForced<<32|flagged&0xffffffff)
 	}
 }
+
+// FwbFlaggedTotal returns the lifetime count of FLAG→FWB transitions
+// across the tree (lines the scanner marked on one pass and would force
+// out on the next — the paper's two-pass Figure 5 FSM). The pulse
+// sampler publishes it for scan hit-rate accounting.
+func (h *Hierarchy) FwbFlaggedTotal() uint64 { return h.flaggedTotal() }
 
 // flaggedTotal sums the FLAG→FWB transition counters across the tree.
 func (h *Hierarchy) flaggedTotal() uint64 {

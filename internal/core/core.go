@@ -36,6 +36,7 @@ import (
 	"pmemlog/internal/nvlog"
 	"pmemlog/internal/nvram"
 	"pmemlog/internal/obs"
+	"pmemlog/internal/obs/scope"
 )
 
 // Config describes the engine.
@@ -121,6 +122,12 @@ type Tx struct {
 	threadID uint8
 	started  bool // header record emitted (lazily, on first store)
 	records  uint64
+
+	// Per-transaction cost ledger (scope accounting): application bytes
+	// stored vs log bytes written on this transaction's behalf. Folded
+	// into the scope per-txn amplification mean at Commit.
+	payloadBytes uint64
+	logBytes     uint64
 }
 
 // TxID returns the 16-bit transaction ID written into log records.
@@ -236,6 +243,10 @@ type Engine struct {
 	// driving the engine (see SetSpan); 0 outside any traced request.
 	span uint32
 
+	// scope is the persistence-domain cost ledger (nil = unscoped; every
+	// hook is nil-receiver-safe, one branch per event).
+	scope *scope.Counters
+
 	stats Stats
 }
 
@@ -244,6 +255,31 @@ type Engine struct {
 // (wrap, truncation) stay untagged: they belong to the log's lifetime,
 // not to whichever request happened to trigger them.
 func (e *Engine) SetSpan(span uint32) { e.span = span }
+
+// SetScope attaches (or with nil detaches) the persistence-domain cost
+// ledger. The engine attributes every log byte it pushes through the
+// memory controller — records, head/tail metadata persists, grow
+// migrations — to a scope byte class, and folds each committed
+// transaction's payload/log ratio into the per-txn amplification mean.
+func (e *Engine) SetScope(c *scope.Counters) { e.scope = c }
+
+// noteRecordBytes attributes one appended record's bytes (plus any log
+// metadata written alongside it) to scope byte classes. Update records
+// pay for their undo and redo words; header and commit records are pure
+// bookkeeping, so their reserved value words count as header bytes.
+func (e *Engine) noteRecordBytes(kind uint8, slot, total uint64) {
+	meta := uint64(0)
+	if total > slot {
+		meta = total - slot
+	}
+	if kind == nvlog.KindUpdate {
+		e.scope.NoteLogBytes(nvlog.RecUndoBytes, nvlog.RecRedoBytes,
+			slot-nvlog.RecUndoBytes-nvlog.RecRedoBytes-nvlog.RecChecksumBytes+meta,
+			nvlog.RecChecksumBytes)
+		return
+	}
+	e.scope.NoteLogBytes(0, 0, slot-nvlog.RecChecksumBytes+meta, nvlog.RecChecksumBytes)
+}
 
 // SetTracer attaches (or with nil detaches) the obs tracer, installing
 // clock-stamping closures on every sub-log. Record-level events land in
@@ -451,7 +487,9 @@ func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMet
 		if err == nil {
 			done := now
 			base := ls.log.Config().Base
+			var total uint64
 			for i, w := range writes {
+				total += uint64(len(w.Bytes))
 				if d := e.ctl.AppendLog(now, w.Addr, w.Bytes); d > done {
 					done = d
 				}
@@ -470,6 +508,7 @@ func (e *Engine) append(now uint64, ls *logState, entry nvlog.Entry, meta recMet
 			ls.push(meta)
 			e.liveRecs[meta.handle]++
 			e.stats.Records++
+			e.noteRecordBytes(entry.Kind, ls.log.Config().Style.EntrySize(), total)
 			return done, nil
 		}
 		if attempt > 2 {
@@ -579,6 +618,10 @@ func (e *Engine) grow(now uint64, ls *logState) (uint64, error) {
 	}
 	done := now
 	for _, w := range writes {
+		// Grow migration re-writes live records plus fresh metadata:
+		// none of it is new undo/redo value traffic, so it is all
+		// bookkeeping (header class) in the scope ledger.
+		e.scope.NoteLogBytes(0, 0, uint64(len(w.Bytes)), 0)
 		if d := e.ctl.AppendLog(now, w.Addr, w.Bytes); d > done {
 			done = d
 		}
@@ -591,6 +634,7 @@ func (e *Engine) grow(now uint64, ls *logState) (uint64, error) {
 		now = d
 	}
 	fw := nvlog.ForwardWrite(e.ctl.NVRAM().Image(), ls.origBase, newCfg.Base)
+	e.scope.NoteLogBytes(0, 0, uint64(len(fw.Bytes)), 0)
 	e.ctl.AppendLog(now, fw.Addr, fw.Bytes)
 	if d := e.ctl.DrainBuffers(now); d > now {
 		now = d
@@ -629,6 +673,7 @@ func (e *Engine) OnStore(now uint64, tx *Tx, addr mem.Addr, old, new mem.Word) (
 			return now, err
 		}
 		done = d
+		tx.logBytes += ls.log.Config().Style.EntrySize()
 	}
 	d, err := e.append(done, ls, nvlog.Entry{
 		Kind: nvlog.KindUpdate, TxID: tx.TxID(), ThreadID: tx.threadID,
@@ -641,6 +686,9 @@ func (e *Engine) OnStore(now uint64, tx *Tx, addr mem.Addr, old, new mem.Word) (
 		done = d
 	}
 	tx.records++
+	tx.payloadBytes += mem.WordSize
+	tx.logBytes += ls.log.Config().Style.EntrySize()
+	e.scope.NoteStore(tx.handle, uint64(addr.Line()), mem.WordSize)
 	return done, nil
 }
 
@@ -657,7 +705,9 @@ func (e *Engine) Commit(now uint64, tx *Tx) (uint64, error) {
 			return now, err
 		}
 		done = d
+		tx.logBytes += e.logOf(tx.threadID).log.Config().Style.EntrySize()
 	}
+	e.scope.NoteTxnCommit(tx.payloadBytes, tx.logBytes)
 	e.committed[tx.handle] = true
 	delete(e.active, tx.handle)
 	e.freeIDs = append(e.freeIDs, tx.physID)
@@ -722,6 +772,8 @@ func (e *Engine) truncateLog(now uint64, ls *logState) uint64 {
 		}
 		ls.dropped = 0
 		for _, w := range writes {
+			// Truncation head persists are log bookkeeping: header class.
+			e.scope.NoteLogBytes(0, 0, uint64(len(w.Bytes)), 0)
 			e.ctl.AppendLog(now, w.Addr, w.Bytes)
 		}
 		e.stats.Truncated += n

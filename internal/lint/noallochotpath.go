@@ -75,6 +75,22 @@ var allocHotFuncs = map[string]map[string]bool{
 		"Collector.Tick":         true,
 		"Collector.NoteFinished": true,
 	},
+	// The scope cost ledger is bumped per persistent store, per log
+	// record, and per write-back inside the shard loop; its sketches are
+	// fixed arrays cleared by an epoch bump, so nothing there may
+	// materialize a slice or map.
+	"internal/obs/scope": {
+		"Counters.NoteLogBytes":  true,
+		"Counters.NoteStore":     true,
+		"Counters.NoteTxnCommit": true,
+		"Counters.NoteDataWB":    true,
+		"Counters.NoteForcedWB":  true,
+		"Counters.NoteDirtied":   true,
+		"Counters.NoteScan":      true,
+		"LineSketch.Touch":       true,
+		"LineSketch.Remove":      true,
+		"LineSketch.Clear":       true,
+	},
 }
 
 // allocHotFuncsFor returns the hot-function set for pkgPath, nil if the

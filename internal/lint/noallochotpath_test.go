@@ -17,3 +17,7 @@ func TestNoallochotpathFlight(t *testing.T) {
 func TestNoallochotpathPulse(t *testing.T) {
 	RunFixture(t, Noallochotpath, "noalloc/internal/obs/pulse")
 }
+
+func TestNoallochotpathScope(t *testing.T) {
+	RunFixture(t, Noallochotpath, "noalloc/internal/obs/scope")
+}

@@ -45,6 +45,21 @@ var obsHotFuncsByPkg = map[string]map[string]bool{
 		"Collector.Tick":         true,
 		"Collector.NoteFinished": true,
 	},
+	// The scope ledger's Note* methods run per store / per log record /
+	// per write-back inside the shard loop; the sketch operations back
+	// them. Nothing there may touch the locking registry surface.
+	"internal/obs/scope": {
+		"Counters.NoteLogBytes":  true,
+		"Counters.NoteStore":     true,
+		"Counters.NoteTxnCommit": true,
+		"Counters.NoteDataWB":    true,
+		"Counters.NoteForcedWB":  true,
+		"Counters.NoteDirtied":   true,
+		"Counters.NoteScan":      true,
+		"LineSketch.Touch":       true,
+		"LineSketch.Remove":      true,
+		"LineSketch.Clear":       true,
+	},
 }
 
 // obsHotFuncsFor returns the hot-function set for pkgPath, nil if the

@@ -9,3 +9,7 @@ func TestObshotpath(t *testing.T) {
 func TestObshotpathPulse(t *testing.T) {
 	RunFixture(t, Obshotpath, "pmemlog/internal/obs/pulse")
 }
+
+func TestObshotpathScope(t *testing.T) {
+	RunFixture(t, Obshotpath, "pmemlog/internal/obs/scope")
+}

@@ -76,6 +76,17 @@ const (
 	// persisted head, persisted tail, capacity, style (one line).
 	MetaSize = mem.LineSize
 
+	// Record byte-class split (see EncodeInto): bytes 0-13 are header
+	// (flags, thread, txid, magic, pass, reserved, 48-bit address),
+	// 14-15 the FNV checksum, 16-23 the undo word, 24-31 the redo word.
+	// Scope accounting and the pmscope offline analyzer attribute every
+	// log byte to one of these classes; update records carry all four,
+	// header/commit records only header+checksum (their value words are
+	// reserved-zero and count as header padding).
+	RecUndoBytes     = 8
+	RecRedoBytes     = 8
+	RecChecksumBytes = 2
+
 	magic0 = 0x5F // "Steal but no Force"
 	magic1 = 0xB0
 )

@@ -189,12 +189,34 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // the two snapshots. Monotonic fields saturate at zero instead of
 // wrapping, so a skewed pair of concurrent snapshots can never produce
 // a garbage window. Max carries cur's lifetime high-water mark.
+//
+// A counter reset — the histogram restarted below prev, as after a
+// dump-restore or a process swap behind the same collector — is
+// detected per snapshot, not per field: any bucket (or the count)
+// moving backwards means prev belongs to a different histogram life.
+// Clamping field-by-field there would zero the shrunken buckets while
+// keeping spurious positive deltas in buckets the new life happens to
+// have outgrown — a mixed vector whose quantiles are garbage. The
+// whole window clamps to empty instead; the caller's baseline then
+// advances to cur, so the next window is a clean delta of the new
+// life. Detection has no false positives under concurrent Observes:
+// within one life every field is monotone and SnapshotInto's
+// independent atomic loads let a later snapshot only run ahead of an
+// earlier one, never behind.
 func (cur *HistogramSnapshot) DeltaSince(prev, out *HistogramSnapshot) {
-	out.Count = satSub(cur.Count, prev.Count)
+	reset := cur.Count < prev.Count
+	for b := 0; !reset && b < len(cur.Buckets); b++ {
+		reset = cur.Buckets[b] < prev.Buckets[b]
+	}
+	if reset {
+		*out = HistogramSnapshot{Max: cur.Max}
+		return
+	}
+	out.Count = cur.Count - prev.Count
 	out.Sum = satSub(cur.Sum, prev.Sum)
 	out.Max = cur.Max
 	for b := range out.Buckets {
-		out.Buckets[b] = satSub(cur.Buckets[b], prev.Buckets[b])
+		out.Buckets[b] = cur.Buckets[b] - prev.Buckets[b]
 	}
 }
 

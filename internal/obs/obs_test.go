@@ -303,6 +303,128 @@ func TestHistogramSnapshotDelta(t *testing.T) {
 	}
 }
 
+// TestHistogramDeltaSinceReset is the counter-reset table: a histogram
+// restarted mid-window (dump-restore, process swap behind the same
+// collector) must clamp the whole window to empty rather than emit a
+// mixed bucket vector whose quantiles are garbage, and the following
+// window must be a clean delta of the new life.
+func TestHistogramDeltaSinceReset(t *testing.T) {
+	// snap builds a snapshot with the given bucket fills (count and sum
+	// derived, like a real histogram life would produce).
+	snap := func(fills map[int]uint64) HistogramSnapshot {
+		var s HistogramSnapshot
+		for b, n := range fills {
+			s.Buckets[b] = n
+			s.Count += n
+			v := uint64(0) // a representative value in bucket b
+			if b > 0 {
+				v = uint64(1) << uint(b-1)
+			}
+			s.Sum += n * v
+			if v > s.Max {
+				s.Max = v
+			}
+		}
+		return s
+	}
+	cases := []struct {
+		name      string
+		prev, cur HistogramSnapshot
+		wantReset bool
+		wantCount uint64
+	}{
+		{
+			name:      "steady-growth",
+			prev:      snap(map[int]uint64{5: 10, 8: 2}),
+			cur:       snap(map[int]uint64{5: 15, 8: 2, 10: 1}),
+			wantReset: false,
+			wantCount: 6,
+		},
+		{
+			// The restore shrank every bucket: pure reset.
+			name:      "reset-all-buckets-down",
+			prev:      snap(map[int]uint64{5: 100, 8: 50}),
+			cur:       snap(map[int]uint64{5: 3, 8: 1}),
+			wantReset: true,
+		},
+		{
+			// The dangerous case the per-field satSub got wrong: the new
+			// life already outgrew prev in bucket 10 while bucket 5 went
+			// backwards. Field-wise clamping would emit {10: 5} — a
+			// spurious window whose p50 jumps to the new life's bucket.
+			name:      "reset-mid-window-mixed",
+			prev:      snap(map[int]uint64{5: 100, 10: 2}),
+			cur:       snap(map[int]uint64{5: 4, 10: 7}),
+			wantReset: true,
+		},
+		{
+			// Count equal but a bucket moved backwards: still a reset.
+			name:      "reset-same-count",
+			prev:      snap(map[int]uint64{5: 4, 10: 4}),
+			cur:       snap(map[int]uint64{5: 3, 10: 5}),
+			wantReset: true,
+		},
+		{
+			name:      "identical-snapshots",
+			prev:      snap(map[int]uint64{5: 9}),
+			cur:       snap(map[int]uint64{5: 9}),
+			wantReset: false,
+			wantCount: 0,
+		},
+	}
+	for _, tc := range cases {
+		var out HistogramSnapshot
+		out.Buckets[3] = 99 // stale scratch: DeltaSince must overwrite fully
+		tc.cur.DeltaSince(&tc.prev, &out)
+		if tc.wantReset {
+			if out.Count != 0 || out.Sum != 0 {
+				t.Errorf("%s: reset window not empty: count=%d sum=%d", tc.name, out.Count, out.Sum)
+			}
+			for b, n := range out.Buckets {
+				if n != 0 {
+					t.Errorf("%s: reset window bucket %d = %d, want 0", tc.name, b, n)
+				}
+			}
+			if q := out.Quantile(0.99); q != 0 {
+				t.Errorf("%s: reset window p99 = %d, want 0", tc.name, q)
+			}
+			// The caller's baseline advances to cur, so the next window is
+			// a clean delta of the new life.
+			next := tc.cur
+			for b := range next.Buckets {
+				next.Buckets[b] += next.Buckets[b] // the new life doubles
+			}
+			next.Count *= 2
+			var nw HistogramSnapshot
+			next.DeltaSince(&tc.cur, &nw)
+			if nw.Count != tc.cur.Count {
+				t.Errorf("%s: post-reset window count = %d, want %d", tc.name, nw.Count, tc.cur.Count)
+			}
+		} else {
+			if out.Count != tc.wantCount {
+				t.Errorf("%s: delta count = %d, want %d", tc.name, out.Count, tc.wantCount)
+			}
+			if out.Buckets[3] == 99 {
+				t.Errorf("%s: stale scratch bucket survived", tc.name)
+			}
+		}
+		if out.Max != tc.cur.Max {
+			t.Errorf("%s: out.Max = %d, want cur's lifetime max %d", tc.name, out.Max, tc.cur.Max)
+		}
+	}
+	// DeltaSince stays on the pulse tick hot path: no allocation on
+	// either the normal or the reset branch.
+	big := snap(map[int]uint64{5: 100})
+	small := snap(map[int]uint64{5: 1})
+	var out HistogramSnapshot
+	if n := testing.AllocsPerRun(100, func() {
+		big.DeltaSince(&small, &out) // growth branch
+		small.DeltaSince(&big, &out) // reset branch
+	}); n != 0 {
+		t.Fatalf("DeltaSince allocates %v/op, want 0", n)
+	}
+}
+
 func TestEmitSpanRoundTrip(t *testing.T) {
 	tr := NewTracer(2, 8)
 	tr.Enable()

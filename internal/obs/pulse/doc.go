@@ -8,12 +8,19 @@ import (
 	"sort"
 
 	"pmemlog/internal/flight"
+	"pmemlog/internal/mem"
 	"pmemlog/internal/obs"
 )
 
 // DocVersion is the /pulse.json schema version. Consumers (pmtop)
 // refuse documents with a version they do not know.
-const DocVersion = 1
+//
+// History: v1 = latency/liveness (ops, stages, shards, SLO, history);
+// v2 added the `scope` persistence-domain cost section. The bump is
+// additive — a v1 document decodes under the v2 struct with a zero
+// Scope (see TestDocDecodeV1Compat) — but consumers that render scope
+// must gate on the version, so it counts as a schema change.
+const DocVersion = 2
 
 // maxDocExemplars caps the exemplar list in one document.
 const maxDocExemplars = 8
@@ -63,6 +70,64 @@ type ShardDoc struct {
 	QueueCap         int     `json:"queue_cap"`
 	LogOccupancy     float64 `json:"log_occupancy"`
 	WrapRatePerSec   float64 `json:"wrap_rate_per_sec"`
+}
+
+// ScopeShardDoc is one shard's windowed persistence-domain cost view:
+// where every NVRAM byte went (log classes, forced/natural
+// write-backs), what it bought (payload), and how long the circular log
+// can keep absorbing it (wrap/full forecast). ETAs are -1 when unknown
+// (no appends this window, or reclaim keeps up).
+type ScopeShardDoc struct {
+	Shard int `json:"shard"`
+
+	PayloadBytesPerSec     float64 `json:"payload_bytes_per_sec"`
+	LogBytesPerSec         float64 `json:"log_bytes_per_sec"`
+	LogUndoBytesPerSec     float64 `json:"log_undo_bytes_per_sec"`
+	LogRedoBytesPerSec     float64 `json:"log_redo_bytes_per_sec"`
+	LogHeaderBytesPerSec   float64 `json:"log_header_bytes_per_sec"`
+	LogChecksumBytesPerSec float64 `json:"log_checksum_bytes_per_sec"`
+	ForcedWBBytesPerSec    float64 `json:"forced_wb_bytes_per_sec"`
+	NaturalWBBytesPerSec   float64 `json:"natural_wb_bytes_per_sec"`
+
+	// WriteAmp = (log + forced-WB + natural-WB bytes) / payload bytes
+	// over the aggregated windows; TxnWriteAmpMean is the mean of the
+	// per-transaction log-bytes/payload ratios committed this window.
+	WriteAmp        float64 `json:"write_amp"`
+	TxnWriteAmpMean float64 `json:"txn_write_amp_mean"`
+
+	// CoalescibleFraction is the share of update appends that re-hit a
+	// line their transaction had already logged; WastedForcedFraction
+	// the share of forced write-backs re-dirtied before the next scan.
+	CoalescibleFraction  float64 `json:"coalescible_fraction"`
+	WastedForcedFraction float64 `json:"wasted_forced_fraction"`
+
+	// Scan productivity: lines forced out and lines newly flagged per
+	// scan pass this window.
+	FwbForcedPerScan  float64 `json:"fwb_forced_per_scan"`
+	FwbFlaggedPerScan float64 `json:"fwb_flagged_per_scan"`
+
+	// Residency: records currently live in the log (recovery replays at
+	// most these — the Sauer/Härder bound recovery time should track).
+	LiveRecords      uint64 `json:"live_records"`
+	ReplayEstRecords uint64 `json:"replay_est_records"`
+
+	// WrapETASeconds forecasts when the tail next crosses a capacity
+	// boundary (a log wrap) at this window's append rate;
+	// FullETASeconds when the log runs out of free records at the net
+	// (append - reclaim) rate.
+	WrapETASeconds float64 `json:"wrap_eta_seconds"`
+	FullETASeconds float64 `json:"full_eta_seconds"`
+}
+
+// ScopeDoc is the cluster-wide persistence-domain cost summary plus the
+// per-shard breakdown.
+type ScopeDoc struct {
+	WriteAmp            float64         `json:"write_amp"`
+	PayloadBytesPerSec  float64         `json:"payload_bytes_per_sec"`
+	LogBytesPerSec      float64         `json:"log_bytes_per_sec"`
+	WBBytesPerSec       float64         `json:"wb_bytes_per_sec"`
+	CoalescibleFraction float64         `json:"coalescible_fraction"`
+	Shards              []ScopeShardDoc `json:"shards"`
 }
 
 // SLODoc is the latency-objective burn view over the aggregated
@@ -120,6 +185,7 @@ type Doc struct {
 	WindowsRetained   int `json:"windows_retained"`
 
 	Shards    []ShardDoc    `json:"shards"`
+	Scope     ScopeDoc      `json:"scope"`
 	Ops       []OpDoc       `json:"ops"`
 	Stages    []StageDoc    `json:"stages"`
 	E2E       Quantiles     `json:"e2e"`
@@ -232,8 +298,27 @@ func (c *Collector) BuildDoc(over int) *Doc {
 			a.fwbScans += sw.fwbScans
 			a.nvramBytes += sw.nvramBytes
 			a.wrap += sw.wrap
+			a.payloadBytes += sw.payloadBytes
+			a.logUndoBytes += sw.logUndoBytes
+			a.logRedoBytes += sw.logRedoBytes
+			a.logHeaderBytes += sw.logHeaderBytes
+			a.logChecksumBytes += sw.logChecksumBytes
+			a.logBusBytes += sw.logBusBytes
+			a.dataBusBytes += sw.dataBusBytes
+			a.updateAppends += sw.updateAppends
+			a.coalescible += sw.coalescible
+			a.forcedWB += sw.forcedWB
+			a.naturalWB += sw.naturalWB
+			a.wastedForcedWB += sw.wastedForcedWB
+			a.fwbFlagged += sw.fwbFlagged
+			a.txnsMeasured += sw.txnsMeasured
+			a.txnAmpMilliSum += sw.txnAmpMilliSum
+			a.tailAdvance += sw.tailAdvance
+			a.headAdvance += sw.headAdvance
 			if k == 0 { // gauges: newest window wins
 				a.queueLen, a.queueCap, a.occupancy = sw.queueLen, sw.queueCap, sw.occupancy
+				a.logHead, a.logTail, a.logCap = sw.logHead, sw.logTail, sw.logCap
+				a.liveRecords = sw.liveRecords
 			}
 		}
 		exemplars = append(exemplars, w.exemplars[:w.exN]...)
@@ -274,6 +359,7 @@ func (c *Collector) BuildDoc(over int) *Doc {
 		}
 		d.Shards[i] = sd
 	}
+	d.Scope = buildScope(shardAgg, secs)
 	d.SLO = SLODoc{
 		ObjectiveNS: c.cfg.SLOLatencyNS,
 		Budget:      c.cfg.SLOBudget,
@@ -327,6 +413,84 @@ func (c *Collector) BuildDoc(over int) *Doc {
 		}
 	}
 	return d
+}
+
+// buildScope derives the persistence-domain cost section from the
+// aggregated shard windows.
+func buildScope(shardAgg []shardWindow, secs float64) ScopeDoc {
+	sc := ScopeDoc{Shards: make([]ScopeShardDoc, len(shardAgg))}
+	var totPayload, totLog, totWB, totUpdates, totCoalescible uint64
+	for i := range shardAgg {
+		a := &shardAgg[i]
+		logBytes := a.logUndoBytes + a.logRedoBytes + a.logHeaderBytes + a.logChecksumBytes
+		wbBytes := (a.forcedWB + a.naturalWB) * mem.LineSize
+		s := ScopeShardDoc{
+			Shard:            i,
+			LiveRecords:      a.liveRecords,
+			ReplayEstRecords: a.liveRecords,
+			WrapETASeconds:   -1,
+			FullETASeconds:   -1,
+		}
+		if secs > 0 {
+			s.PayloadBytesPerSec = float64(a.payloadBytes) / secs
+			s.LogBytesPerSec = float64(logBytes) / secs
+			s.LogUndoBytesPerSec = float64(a.logUndoBytes) / secs
+			s.LogRedoBytesPerSec = float64(a.logRedoBytes) / secs
+			s.LogHeaderBytesPerSec = float64(a.logHeaderBytes) / secs
+			s.LogChecksumBytesPerSec = float64(a.logChecksumBytes) / secs
+			s.ForcedWBBytesPerSec = float64(a.forcedWB) * mem.LineSize / secs
+			s.NaturalWBBytesPerSec = float64(a.naturalWB) * mem.LineSize / secs
+		}
+		if a.payloadBytes > 0 {
+			s.WriteAmp = float64(logBytes+wbBytes) / float64(a.payloadBytes)
+		}
+		if a.txnsMeasured > 0 {
+			s.TxnWriteAmpMean = float64(a.txnAmpMilliSum) / float64(a.txnsMeasured) / 1000
+		}
+		if a.updateAppends > 0 {
+			s.CoalescibleFraction = float64(a.coalescible) / float64(a.updateAppends)
+		}
+		if a.forcedWB > 0 {
+			s.WastedForcedFraction = float64(a.wastedForcedWB) / float64(a.forcedWB)
+		}
+		if a.fwbScans > 0 {
+			s.FwbForcedPerScan = float64(a.forcedWB) / float64(a.fwbScans)
+			s.FwbFlaggedPerScan = float64(a.fwbFlagged) / float64(a.fwbScans)
+		}
+		// Wrap forecast: seconds until the tail next crosses a capacity
+		// boundary at this window's append rate; full forecast: seconds
+		// until free records run out at the net append-minus-reclaim
+		// rate. Head/tail are monotonic record sequence numbers.
+		if secs > 0 && a.logCap > 0 && a.tailAdvance > 0 {
+			appendRate := float64(a.tailAdvance) / secs
+			s.WrapETASeconds = float64(a.logCap-a.logTail%a.logCap) / appendRate
+			if net := appendRate - float64(a.headAdvance)/secs; net > 0 {
+				if free := a.logCap - (a.logTail - a.logHead); free > 0 {
+					s.FullETASeconds = float64(free) / net
+				} else {
+					s.FullETASeconds = 0
+				}
+			}
+		}
+		sc.Shards[i] = s
+		totPayload += a.payloadBytes
+		totLog += logBytes
+		totWB += wbBytes
+		totUpdates += a.updateAppends
+		totCoalescible += a.coalescible
+	}
+	if secs > 0 {
+		sc.PayloadBytesPerSec = float64(totPayload) / secs
+		sc.LogBytesPerSec = float64(totLog) / secs
+		sc.WBBytesPerSec = float64(totWB) / secs
+	}
+	if totPayload > 0 {
+		sc.WriteAmp = float64(totLog+totWB) / float64(totPayload)
+	}
+	if totUpdates > 0 {
+		sc.CoalescibleFraction = float64(totCoalescible) / float64(totUpdates)
+	}
+	return sc
 }
 
 // exemplarDoc flattens a retained span into the document form via the

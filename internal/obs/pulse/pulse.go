@@ -56,6 +56,25 @@ type ShardSample struct {
 	LogTruncated    uint64
 	FwbScans        uint64
 	NVRAMWriteBytes uint64
+
+	// Scope (persistence-domain cost) counters; cumulative except
+	// LiveRecords, a gauge.
+	PayloadBytes       uint64
+	LogUndoBytes       uint64
+	LogRedoBytes       uint64
+	LogHeaderBytes     uint64
+	LogChecksumBytes   uint64
+	LogBusBytes        uint64
+	DataBusBytes       uint64
+	UpdateAppends      uint64
+	CoalescibleAppends uint64
+	ForcedWB           uint64
+	NaturalWB          uint64
+	WastedForcedWB     uint64
+	FwbFlagged         uint64
+	TxnsMeasured       uint64
+	TxnAmpMilliSum     uint64
+	LiveRecords        uint64
 }
 
 // Config sizes a Collector.
@@ -128,6 +147,33 @@ type shardWindow struct {
 	logTruncated uint64
 	fwbScans     uint64
 	nvramBytes   uint64
+
+	// Scope deltas for this window (counts/bytes, not rates — BuildDoc
+	// divides by the window span).
+	payloadBytes     uint64
+	logUndoBytes     uint64
+	logRedoBytes     uint64
+	logHeaderBytes   uint64
+	logChecksumBytes uint64
+	logBusBytes      uint64
+	dataBusBytes     uint64
+	updateAppends    uint64
+	coalescible      uint64
+	forcedWB         uint64
+	naturalWB        uint64
+	wastedForcedWB   uint64
+	fwbFlagged       uint64
+	txnsMeasured     uint64
+	txnAmpMilliSum   uint64
+
+	// Wrap-forecast inputs: records appended (tail advance) and
+	// reclaimed (head advance) this window, plus end-of-window gauges.
+	tailAdvance uint64
+	headAdvance uint64
+	logHead     uint64
+	logTail     uint64
+	logCap      uint64
+	liveRecords uint64
 }
 
 // window is one completed interval's delta view.
@@ -303,6 +349,25 @@ func (c *Collector) Tick() {
 		sw.logTruncated = satSub(cur.LogTruncated, prev.LogTruncated)
 		sw.fwbScans = satSub(cur.FwbScans, prev.FwbScans)
 		sw.nvramBytes = satSub(cur.NVRAMWriteBytes, prev.NVRAMWriteBytes)
+		sw.payloadBytes = satSub(cur.PayloadBytes, prev.PayloadBytes)
+		sw.logUndoBytes = satSub(cur.LogUndoBytes, prev.LogUndoBytes)
+		sw.logRedoBytes = satSub(cur.LogRedoBytes, prev.LogRedoBytes)
+		sw.logHeaderBytes = satSub(cur.LogHeaderBytes, prev.LogHeaderBytes)
+		sw.logChecksumBytes = satSub(cur.LogChecksumBytes, prev.LogChecksumBytes)
+		sw.logBusBytes = satSub(cur.LogBusBytes, prev.LogBusBytes)
+		sw.dataBusBytes = satSub(cur.DataBusBytes, prev.DataBusBytes)
+		sw.updateAppends = satSub(cur.UpdateAppends, prev.UpdateAppends)
+		sw.coalescible = satSub(cur.CoalescibleAppends, prev.CoalescibleAppends)
+		sw.forcedWB = satSub(cur.ForcedWB, prev.ForcedWB)
+		sw.naturalWB = satSub(cur.NaturalWB, prev.NaturalWB)
+		sw.wastedForcedWB = satSub(cur.WastedForcedWB, prev.WastedForcedWB)
+		sw.fwbFlagged = satSub(cur.FwbFlagged, prev.FwbFlagged)
+		sw.txnsMeasured = satSub(cur.TxnsMeasured, prev.TxnsMeasured)
+		sw.txnAmpMilliSum = satSub(cur.TxnAmpMilliSum, prev.TxnAmpMilliSum)
+		sw.tailAdvance = satSub(cur.LogTail, prev.LogTail)
+		sw.headAdvance = satSub(cur.LogHead, prev.LogHead)
+		sw.logHead, sw.logTail, sw.logCap = cur.LogHead, cur.LogTail, cur.LogCap
+		sw.liveRecords = cur.LiveRecords
 		*prev = *cur
 	}
 

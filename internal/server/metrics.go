@@ -135,6 +135,7 @@ func (s *Server) metricsResponse() Response {
 	set("pmserver_spans_in_flight", "", "request spans currently in flight", uint64(s.flight.InFlightCount()))
 	set("pmserver_slow_spans_captured", "", "slow-request span snapshots retained by tail sampling", s.flight.SlowCaptured())
 	s.pulseGauges()
+	s.scopeGauges()
 	var buf bytes.Buffer
 	if err := s.reg.WritePrometheus(&buf); err != nil {
 		return Response{Status: StatusErr, Err: err.Error()}

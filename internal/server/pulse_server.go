@@ -75,6 +75,22 @@ func (s *Server) sampleShard(i int, out *pulse.ShardSample) {
 	out.LogTruncated = sh.pubLogTrunc.Load()
 	out.FwbScans = sh.pubFwbScans.Load()
 	out.NVRAMWriteBytes = sh.pubNVRAMBytes.Load()
+	out.PayloadBytes = sh.pubPayloadBytes.Load()
+	out.LogUndoBytes = sh.pubLogUndoBytes.Load()
+	out.LogRedoBytes = sh.pubLogRedoBytes.Load()
+	out.LogHeaderBytes = sh.pubLogHeaderBytes.Load()
+	out.LogChecksumBytes = sh.pubLogChecksumBytes.Load()
+	out.LogBusBytes = sh.pubLogBusBytes.Load()
+	out.DataBusBytes = sh.pubDataBusBytes.Load()
+	out.UpdateAppends = sh.pubUpdateAppends.Load()
+	out.CoalescibleAppends = sh.pubCoalescible.Load()
+	out.ForcedWB = sh.pubForcedWB.Load()
+	out.NaturalWB = sh.pubNaturalWB.Load()
+	out.WastedForcedWB = sh.pubWastedForcedWB.Load()
+	out.FwbFlagged = sh.pubFwbFlagged.Load()
+	out.TxnsMeasured = sh.pubTxnsMeasured.Load()
+	out.TxnAmpMilliSum = sh.pubTxnAmpMilliSum.Load()
+	out.LiveRecords = sh.pubLiveRecords.Load()
 }
 
 // observeFinish folds one completed request into the latency series at
@@ -181,5 +197,46 @@ func (s *Server) pulseGauges() {
 		set("pmserver_pulse_shard_wrap_rate_milli", lbl, "windowed circular-log passes per second, x1000", int64(sd.WrapRatePerSec*1000))
 		set("pmserver_pulse_shard_occupancy_milli", lbl, "live log window over capacity, x1000", int64(sd.LogOccupancy*1000))
 		set("pmserver_pulse_shard_queue_len", lbl, "shard queue length at the last window close", int64(sd.QueueLen))
+	}
+}
+
+// scopeGauges publishes the latest completed window's persistence-domain
+// cost view as pmserver_scope_* gauges, beside the pulse gauges. Same
+// conventions: rates rounded to int64, fractions/ratios scaled ×1000
+// with a _milli suffix, ETAs in whole seconds (-1 = unknown).
+func (s *Server) scopeGauges() {
+	d := s.pulse.BuildDoc(1)
+	if d.WindowsAggregated == 0 {
+		return
+	}
+	set := func(name, labels, help string, v int64) {
+		s.reg.Gauge(name, labels, help).Set(v)
+	}
+	sc := &d.Scope
+	set("pmserver_scope_write_amp_milli", "", "windowed NVRAM write amplification (log+WB over payload), x1000", int64(sc.WriteAmp*1000))
+	set("pmserver_scope_payload_bytes_per_sec", "", "windowed application payload bytes per second", int64(sc.PayloadBytesPerSec))
+	set("pmserver_scope_log_bytes_per_sec", "", "windowed NVRAM log bytes per second, all classes", int64(sc.LogBytesPerSec))
+	set("pmserver_scope_wb_bytes_per_sec", "", "windowed NVRAM data write-back bytes per second", int64(sc.WBBytesPerSec))
+	set("pmserver_scope_coalescible_milli", "", "fraction of update appends re-hitting a line their txn logged, x1000", int64(sc.CoalescibleFraction*1000))
+	for i := range sc.Shards {
+		sd := &sc.Shards[i]
+		lbl := fmt.Sprintf("shard=\"%d\"", sd.Shard)
+		set("pmserver_scope_shard_write_amp_milli", lbl, "windowed shard write amplification, x1000", int64(sd.WriteAmp*1000))
+		set("pmserver_scope_shard_txn_write_amp_milli", lbl, "mean per-txn log-bytes over payload, x1000", int64(sd.TxnWriteAmpMean*1000))
+		set("pmserver_scope_shard_payload_bytes_per_sec", lbl, "windowed shard payload bytes per second", int64(sd.PayloadBytesPerSec))
+		set("pmserver_scope_shard_log_bytes_per_sec", lbl, "windowed shard log bytes per second", int64(sd.LogBytesPerSec))
+		set("pmserver_scope_shard_log_undo_bytes_per_sec", lbl, "windowed log bytes paying for undo words, per second", int64(sd.LogUndoBytesPerSec))
+		set("pmserver_scope_shard_log_redo_bytes_per_sec", lbl, "windowed log bytes paying for redo words, per second", int64(sd.LogRedoBytesPerSec))
+		set("pmserver_scope_shard_log_header_bytes_per_sec", lbl, "windowed log bytes paying for headers and metadata, per second", int64(sd.LogHeaderBytesPerSec))
+		set("pmserver_scope_shard_log_checksum_bytes_per_sec", lbl, "windowed log bytes paying for record checksums, per second", int64(sd.LogChecksumBytesPerSec))
+		set("pmserver_scope_shard_forced_wb_bytes_per_sec", lbl, "windowed FWB-forced write-back bytes per second", int64(sd.ForcedWBBytesPerSec))
+		set("pmserver_scope_shard_natural_wb_bytes_per_sec", lbl, "windowed eviction/flush write-back bytes per second", int64(sd.NaturalWBBytesPerSec))
+		set("pmserver_scope_shard_coalescible_milli", lbl, "coalescible fraction of update appends, x1000", int64(sd.CoalescibleFraction*1000))
+		set("pmserver_scope_shard_wasted_forced_milli", lbl, "fraction of forced write-backs re-dirtied before the next scan, x1000", int64(sd.WastedForcedFraction*1000))
+		set("pmserver_scope_shard_fwb_forced_per_scan_milli", lbl, "lines forced out per FWB scan pass, x1000", int64(sd.FwbForcedPerScan*1000))
+		set("pmserver_scope_shard_live_records", lbl, "records currently live in the circular log", int64(sd.LiveRecords))
+		set("pmserver_scope_shard_replay_est_records", lbl, "estimated recovery replay cost in records", int64(sd.ReplayEstRecords))
+		set("pmserver_scope_shard_wrap_eta_seconds", lbl, "forecast seconds until the next log wrap (-1 = unknown)", int64(sd.WrapETASeconds))
+		set("pmserver_scope_shard_full_eta_seconds", lbl, "forecast seconds until the log runs out of free records (-1 = unknown)", int64(sd.FullETASeconds))
 	}
 }

@@ -104,6 +104,24 @@ type shard struct {
 	pubFwbScans   atomic.Uint64
 	pubNVRAMBytes atomic.Uint64
 	pulseScratch  sim.PulseCounters
+
+	// Published scope (persistence-domain cost) counters, same bridge.
+	pubPayloadBytes     atomic.Uint64
+	pubLogUndoBytes     atomic.Uint64
+	pubLogRedoBytes     atomic.Uint64
+	pubLogHeaderBytes   atomic.Uint64
+	pubLogChecksumBytes atomic.Uint64
+	pubLogBusBytes      atomic.Uint64
+	pubDataBusBytes     atomic.Uint64
+	pubUpdateAppends    atomic.Uint64
+	pubCoalescible      atomic.Uint64
+	pubForcedWB         atomic.Uint64
+	pubNaturalWB        atomic.Uint64
+	pubWastedForcedWB   atomic.Uint64
+	pubFwbFlagged       atomic.Uint64
+	pubTxnsMeasured     atomic.Uint64
+	pubTxnAmpMilliSum   atomic.Uint64
+	pubLiveRecords      atomic.Uint64
 }
 
 // newShard builds (or re-attaches) one shard.
@@ -170,6 +188,22 @@ func (sh *shard) publishLogState() {
 	sh.pubLogTrunc.Store(sh.pulseScratch.LogTruncated)
 	sh.pubFwbScans.Store(sh.pulseScratch.FwbScans)
 	sh.pubNVRAMBytes.Store(sh.pulseScratch.NVRAMWriteBytes)
+	sh.pubPayloadBytes.Store(sh.pulseScratch.PayloadBytes)
+	sh.pubLogUndoBytes.Store(sh.pulseScratch.LogUndoBytes)
+	sh.pubLogRedoBytes.Store(sh.pulseScratch.LogRedoBytes)
+	sh.pubLogHeaderBytes.Store(sh.pulseScratch.LogHeaderBytes)
+	sh.pubLogChecksumBytes.Store(sh.pulseScratch.LogChecksumBytes)
+	sh.pubLogBusBytes.Store(sh.pulseScratch.LogBusBytes)
+	sh.pubDataBusBytes.Store(sh.pulseScratch.DataBusBytes)
+	sh.pubUpdateAppends.Store(sh.pulseScratch.UpdateAppends)
+	sh.pubCoalescible.Store(sh.pulseScratch.CoalescibleAppends)
+	sh.pubForcedWB.Store(sh.pulseScratch.ForcedWB)
+	sh.pubNaturalWB.Store(sh.pulseScratch.NaturalWB)
+	sh.pubWastedForcedWB.Store(sh.pulseScratch.WastedForcedWB)
+	sh.pubFwbFlagged.Store(sh.pulseScratch.FwbFlagged)
+	sh.pubTxnsMeasured.Store(sh.pulseScratch.TxnsMeasured)
+	sh.pubTxnAmpMilliSum.Store(sh.pulseScratch.TxnAmpMilliSum)
+	sh.pubLiveRecords.Store(sh.pulseScratch.LiveRecords)
 }
 
 // save persists the high-water mark and the DIMM image atomically. The

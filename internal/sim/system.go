@@ -14,6 +14,7 @@ import (
 	"pmemlog/internal/nvlog"
 	"pmemlog/internal/nvram"
 	"pmemlog/internal/obs"
+	"pmemlog/internal/obs/scope"
 	"pmemlog/internal/pheap"
 	"pmemlog/internal/recovery"
 	"pmemlog/internal/stats"
@@ -66,6 +67,12 @@ type System struct {
 	// tracer, when attached, receives machine events: ring i = thread i,
 	// ring Threads = the machine ring (engine, controller, caches).
 	tracer *obs.Tracer
+
+	// scope is the always-on persistence-domain cost ledger. Owned by the
+	// System (it must survive Reboot/Attach rebuilds — cost history is a
+	// property of the NVRAM device's lifetime, not of one boot), wired
+	// into the rebuilt components by wireScope.
+	scope *scope.Counters
 
 	// reqSpan tags tx/log trace events with the request span currently
 	// driving the machine (see SetSpan). Plain field: the owning shard
@@ -126,6 +133,26 @@ type PulseCounters struct {
 	LogTruncated    uint64 // records reclaimed by head advance
 	FwbScans        uint64 // forced write-back scans completed
 	NVRAMWriteBytes uint64 // bytes written to simulated NVRAM
+
+	// Scope (persistence-domain cost) counters, from the machine's
+	// always-on scope.Counters ledger plus the controller's bus stats.
+	// All monotonic except LiveRecords, a gauge.
+	PayloadBytes       uint64 // application bytes stored by txns
+	LogUndoBytes       uint64 // log bytes paying for undo words
+	LogRedoBytes       uint64 // log bytes paying for redo words
+	LogHeaderBytes     uint64 // log bytes paying for headers + metadata
+	LogChecksumBytes   uint64 // log bytes paying for record checksums
+	LogBusBytes        uint64 // all log-path bytes crossing the NVRAM bus
+	DataBusBytes       uint64 // all data write-back bytes crossing the bus
+	UpdateAppends      uint64 // update records appended
+	CoalescibleAppends uint64 // update appends re-hitting a line their txn logged
+	ForcedWB           uint64 // FWB-scanner-forced data write-backs
+	NaturalWB          uint64 // eviction/flush data write-backs
+	WastedForcedWB     uint64 // forced write-backs re-dirtied before next scan
+	FwbFlagged         uint64 // FLAG→FWB transitions in the scan FSM
+	TxnsMeasured       uint64 // committed txns folded into the amp mean
+	TxnAmpMilliSum     uint64 // sum of per-txn 1000*logBytes/payloadBytes
+	LiveRecords        uint64 // gauge: records currently live in the log
 }
 
 // PulseCounters samples the machine's monotonic counters into out
@@ -144,6 +171,47 @@ func (s *System) PulseCounters(out *PulseCounters) {
 	}
 	if s.swLog != nil {
 		out.LogAppends = s.swLog.Stats().Appends
+	}
+
+	sc := s.scope
+	out.PayloadBytes = sc.PayloadBytes
+	out.LogUndoBytes = sc.LogUndoBytes
+	out.LogRedoBytes = sc.LogRedoBytes
+	out.LogHeaderBytes = sc.LogHeaderBytes
+	out.LogChecksumBytes = sc.LogChecksumBytes
+	out.UpdateAppends = sc.UpdateAppends
+	out.CoalescibleAppends = sc.CoalescibleAppends
+	out.ForcedWB = sc.ForcedWB
+	out.NaturalWB = sc.NaturalWB()
+	out.WastedForcedWB = sc.WastedForcedWB
+	out.TxnsMeasured = sc.TxnsMeasured
+	out.TxnAmpMilliSum = sc.TxnAmpMilliSum
+	cs := s.ctl.Stats()
+	out.LogBusBytes = cs.LogWriteBytes
+	out.DataBusBytes = cs.DataWriteBytes
+	out.FwbFlagged = s.hier.FwbFlaggedTotal()
+	switch {
+	case s.eng != nil:
+		out.LiveRecords = s.eng.LiveRecords()
+	case s.swLog != nil:
+		out.LiveRecords = s.swLog.Len()
+	}
+}
+
+// Scope returns the machine's persistence-domain cost ledger (never nil
+// after New). Single-writer: only the goroutine driving the machine may
+// read or write it.
+func (s *System) Scope() *scope.Counters { return s.scope }
+
+// wireScope pushes the System-owned scope ledger into every component
+// with accounting hooks. Like wireTracer/wireChaos it runs at
+// construction and again after Reboot/Attach rebuild the volatile
+// components, so cost history accumulates across simulated crashes.
+func (s *System) wireScope() {
+	s.ctl.SetScope(s.scope)
+	s.hier.SetScope(s.scope)
+	if s.eng != nil {
+		s.eng.SetScope(s.scope)
 	}
 }
 
@@ -325,6 +393,8 @@ func New(cfg Config) (*System, error) {
 		s.population = make(map[mem.Addr]mem.Word)
 		s.oracleByHandle = make(map[uint64]*txRecord)
 	}
+	s.scope = &scope.Counters{}
+	s.wireScope()
 	s.wireChaos()
 	return s, nil
 }
@@ -593,6 +663,7 @@ func (s *System) rebuild() error {
 	s.crashed = false
 	s.crashAt = 0
 	s.wireTracer()
+	s.wireScope()
 	s.wireChaos()
 	return nil
 }
